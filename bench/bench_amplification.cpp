@@ -1,0 +1,74 @@
+// Reproduces the paper's §1 security-vs-predictability numbers: the e-fold
+// resource amplification of NaS tree-growing in unpredictable chains, the
+// resulting persistence threshold 1/(1+e) ≈ 0.269 (vs 1/2 for PoW and for
+// predictable chains), and the PoW double-spend catch-up probabilities the
+// thresholds are calibrated against.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/amplification.hpp"
+#include "bench_common.hpp"
+#include "support/csv.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  const auto options = bench::standard_options(argc, argv);
+  const bool full = options.get_bool("bench-full");
+  bench::print_header(
+      "Amplification & persistence thresholds (paper §1, Appendix A)", full);
+
+  std::printf("amplification factor (computed):  %.9f (Euler's e)\n",
+              analysis::amplification_factor());
+  std::printf("NaS persistence threshold 1/(1+e): %.6f\n",
+              analysis::nas_security_threshold());
+  std::printf("PoW persistence threshold:         0.5\n\n");
+
+  {
+    support::Table table({"p", "tree depth rate e*p", "honest rate 1-p",
+                          "tree overtakes?"});
+    for (const double p :
+         {0.10, 0.20, 0.25, analysis::nas_security_threshold(), 0.28, 0.30,
+          0.40}) {
+      table.add_row({support::format_double(p, 4),
+                     support::format_double(analysis::tree_depth_growth_rate(p), 4),
+                     support::format_double(1 - p, 4),
+                     analysis::nas_tree_overtakes(p) ? "YES" : "no"});
+    }
+    table.print(std::cout);
+  }
+
+  std::printf("\nYule-tree frontier vs the e*lambda*t asymptote "
+              "(lambda = 0.3):\n");
+  {
+    support::Table table({"t", "expected depth", "e*lambda*t", "ratio"});
+    for (const double t : {25.0, 50.0, 100.0, 200.0, 400.0}) {
+      const int depth = analysis::expected_tree_depth(0.3, t);
+      const double asymptote = std::exp(1.0) * 0.3 * t;
+      table.add_row({support::format_double(t, 4), std::to_string(depth),
+                     support::format_double(asymptote, 5),
+                     support::format_double(depth / asymptote, 4)});
+    }
+    table.print(std::cout);
+  }
+
+  std::printf("\nPoW double-spend catch-up from z blocks behind "
+              "(closed form vs Monte Carlo):\n");
+  {
+    const std::uint64_t trials = full ? 400'000 : 100'000;
+    support::Table table({"p", "z", "closed form", "Monte Carlo", "abs diff"});
+    for (const double p : {0.1, 0.25, 0.4}) {
+      for (const int z : {1, 3, 6}) {
+        const double exact = analysis::pow_catchup_probability(p, z);
+        const auto mc = analysis::mc_pow_catchup(p, z, trials, 42);
+        table.add_row({support::format_double(p, 3), std::to_string(z),
+                       support::format_double(exact, 5),
+                       support::format_double(mc.probability, 5),
+                       support::format_double(
+                           std::fabs(exact - mc.probability), 3)});
+      }
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+
+#include "analysis/sweep.hpp"
+
+namespace bench {
+
+std::vector<std::pair<int, int>> attack_configs(bool full) {
+  std::vector<std::pair<int, int>> configs{{1, 1}, {2, 1}, {2, 2}, {3, 2}};
+  if (full) configs.emplace_back(4, 2);
+  return configs;
+}
+
+std::vector<double> gamma_grid() { return {0.0, 0.25, 0.5, 0.75, 1.0}; }
+
+std::vector<double> resource_grid(bool full) {
+  return analysis::linspace_grid(0.0, 0.3, full ? 0.01 : 0.05);
+}
+
+support::Options standard_options(int argc, const char* const* argv,
+                                  const std::string& extra_help) {
+  support::Options options;
+  options.declare("bench-full", "false",
+                  "run the paper's full grids (incl. d=4,f=2); also via "
+                  "SELFISH_BENCH_FULL=1" +
+                      (extra_help.empty() ? "" : ". " + extra_help));
+  options.declare("epsilon", "0.001",
+                  "binary-search precision of Algorithm 1");
+  options.declare("solver", "vi", "mean-payoff solver: vi | pi | dense");
+  options.parse(argc, argv);
+  return options;
+}
+
+void print_header(const std::string& title, bool full) {
+  std::printf("== %s ==\n", title.c_str());
+  std::printf("scale: %s (use --bench-full or SELFISH_BENCH_FULL=1 for the "
+              "paper's full grid)\n\n",
+              full ? "FULL (paper grid)" : "default (reduced grid)");
+}
+
+}  // namespace bench

@@ -1,0 +1,67 @@
+// Cross-validation bench: the Monte-Carlo simulator executes the strategy
+// computed by Algorithm 1 against concrete blocks, and the empirical chain
+// quality is compared with the MDP's stationary prediction. This is the
+// end-to-end evidence that the formal model captures the protocol.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/algorithm1.hpp"
+#include "bench_common.hpp"
+#include "selfish/build.hpp"
+#include "sim/strategies.hpp"
+#include "support/csv.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+int main(int argc, char** argv) {
+  const auto options = bench::standard_options(argc, argv);
+  const bool full = options.get_bool("bench-full");
+  bench::print_header(
+      "Simulation cross-validation: MDP-predicted vs empirical ERRev", full);
+
+  analysis::AnalysisOptions analysis_options;
+  analysis_options.epsilon = options.get_double("epsilon");
+  analysis_options.solver.method =
+      mdp::parse_solver_method(options.get_string("solver"));
+
+  sim::SimulationOptions sim_options;
+  sim_options.steps = full ? 4'000'000 : 1'000'000;
+  sim_options.warmup_steps = sim_options.steps / 20;
+
+  support::Table table({"Config", "p", "gamma", "MDP ERRev", "Sim ERRev",
+                        "abs diff", "races w/l", "Time (s)"});
+
+  const struct {
+    int d, f;
+    double p, gamma;
+  } cases[] = {
+      {1, 1, 0.30, 1.00}, {2, 1, 0.30, 0.50}, {2, 2, 0.25, 0.25},
+      {2, 2, 0.30, 0.75}, {3, 2, 0.30, 0.50},
+  };
+  for (const auto& c : cases) {
+    if (!full && c.d >= 3) continue;
+    selfish::AttackParams params{.p = c.p, .gamma = c.gamma, .d = c.d,
+                                 .f = c.f, .l = 4};
+    const support::Timer timer;
+    const auto model = selfish::build_model(params);
+    const auto result = analysis::analyze(model, analysis_options);
+    sim::MdpPolicyStrategy strategy(model, result.policy);
+    const auto simulated = sim::simulate(params, strategy, sim_options);
+    table.add_row(
+        {"d=" + std::to_string(c.d) + ",f=" + std::to_string(c.f),
+         support::format_double(c.p, 3), support::format_double(c.gamma, 3),
+         support::format_double(result.errev_of_policy, 5),
+         support::format_double(simulated.errev, 5),
+         support::format_double(
+             std::fabs(simulated.errev - result.errev_of_policy), 3),
+         std::to_string(simulated.races_won) + "/" +
+             std::to_string(simulated.races_lost),
+         support::format_double(timer.seconds(), 3)});
+    std::fflush(stdout);
+  }
+  table.print(std::cout);
+  std::printf("\nExpected: |MDP − Sim| within Monte-Carlo noise (~0.005 at "
+              "1M steps).\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Solver micro-benchmarks (google-benchmark): model construction, one
+// mean-payoff solve per method, full Algorithm 1, the single-tree
+// baseline, and the stationary evaluation — the building blocks whose
+// costs compose into Table 1.
+#include <benchmark/benchmark.h>
+
+#include "analysis/algorithm1.hpp"
+#include "analysis/errev.hpp"
+#include "baselines/single_tree.hpp"
+#include "mdp/dense_solver.hpp"
+#include "mdp/policy_iteration.hpp"
+#include "mdp/value_iteration.hpp"
+#include "selfish/build.hpp"
+
+namespace {
+
+selfish::AttackParams params_for(int d, int f) {
+  return selfish::AttackParams{.p = 0.3, .gamma = 0.5, .d = d, .f = f, .l = 4};
+}
+
+void BM_BuildModel(benchmark::State& state) {
+  const auto params = params_for(static_cast<int>(state.range(0)),
+                                 static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    auto model = selfish::build_model(params);
+    benchmark::DoNotOptimize(model.mdp.num_states());
+  }
+  state.counters["states"] = static_cast<double>(
+      selfish::build_model(params).mdp.num_states());
+}
+BENCHMARK(BM_BuildModel)->Args({1, 1})->Args({2, 1})->Args({2, 2})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ValueIteration(benchmark::State& state) {
+  const auto model = selfish::build_model(
+      params_for(static_cast<int>(state.range(0)),
+                 static_cast<int>(state.range(1))));
+  const auto rewards = model.mdp.beta_rewards(0.4);
+  for (auto _ : state) {
+    const auto result = mdp::value_iteration(model.mdp, rewards);
+    benchmark::DoNotOptimize(result.gain);
+  }
+}
+BENCHMARK(BM_ValueIteration)->Args({1, 1})->Args({2, 1})->Args({2, 2})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GaussSeidel(benchmark::State& state) {
+  const auto model = selfish::build_model(
+      params_for(static_cast<int>(state.range(0)),
+                 static_cast<int>(state.range(1))));
+  const auto rewards = model.mdp.beta_rewards(0.4);
+  for (auto _ : state) {
+    const auto result =
+        mdp::gauss_seidel_value_iteration(model.mdp, rewards);
+    benchmark::DoNotOptimize(result.gain);
+  }
+}
+BENCHMARK(BM_GaussSeidel)->Args({1, 1})->Args({2, 1})->Args({2, 2})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PolicyIteration(benchmark::State& state) {
+  const auto model = selfish::build_model(
+      params_for(static_cast<int>(state.range(0)),
+                 static_cast<int>(state.range(1))));
+  const auto rewards = model.mdp.beta_rewards(0.4);
+  for (auto _ : state) {
+    const auto result = mdp::policy_iteration(model.mdp, rewards);
+    benchmark::DoNotOptimize(result.gain);
+  }
+}
+BENCHMARK(BM_PolicyIteration)->Args({1, 1})->Args({2, 1})->Args({2, 2})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DensePolicyIteration(benchmark::State& state) {
+  // Dense evaluation is O(n³): only the small models are feasible.
+  const auto model = selfish::build_model(params_for(1, 1));
+  const auto rewards = model.mdp.beta_rewards(0.4);
+  for (auto _ : state) {
+    const auto result = mdp::dense_policy_iteration(model.mdp, rewards);
+    benchmark::DoNotOptimize(result.gain);
+  }
+}
+BENCHMARK(BM_DensePolicyIteration)->Unit(benchmark::kMicrosecond);
+
+void BM_Algorithm1(benchmark::State& state) {
+  const auto model = selfish::build_model(
+      params_for(static_cast<int>(state.range(0)),
+                 static_cast<int>(state.range(1))));
+  analysis::AnalysisOptions options;
+  options.epsilon = 1e-3;
+  options.evaluate_exact_errev = false;
+  for (auto _ : state) {
+    const auto result = analysis::analyze(model, options);
+    benchmark::DoNotOptimize(result.errev_lower_bound);
+  }
+}
+BENCHMARK(BM_Algorithm1)->Args({1, 1})->Args({2, 1})->Args({2, 2})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ExactErrevEvaluation(benchmark::State& state) {
+  const auto model = selfish::build_model(params_for(2, 2));
+  analysis::AnalysisOptions options;
+  options.epsilon = 1e-2;
+  options.evaluate_exact_errev = false;
+  const auto analysis = analysis::analyze(model, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::exact_errev(model, analysis.policy));
+  }
+}
+BENCHMARK(BM_ExactErrevEvaluation)->Unit(benchmark::kMillisecond);
+
+void BM_SingleTreeBaseline(benchmark::State& state) {
+  const baselines::SingleTreeParams params{
+      .p = 0.3, .gamma = 0.5, .max_depth = 4, .max_width = 5};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(baselines::analyze_single_tree(params).errev);
+  }
+}
+BENCHMARK(BM_SingleTreeBaseline)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

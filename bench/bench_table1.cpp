@@ -1,0 +1,59 @@
+// Reproduces Table 1: analysis runtimes per attack configuration at
+// γ = 0.5, l = 4, plus the single-tree baseline (f = 5).
+//
+// The paper reports Storm runtimes (3.8 s … 77761.7 s); absolute numbers
+// differ on a native solver, but the shape — roughly an order of magnitude
+// per depth increment, driven by the state-space blow-up — must hold.
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/algorithm1.hpp"
+#include "baselines/single_tree.hpp"
+#include "bench_common.hpp"
+#include "selfish/build.hpp"
+#include "support/csv.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+int main(int argc, char** argv) {
+  const auto options = bench::standard_options(argc, argv);
+  const bool full = options.get_bool("bench-full");
+  bench::print_header("Table 1: analysis runtimes (gamma=0.5, p=0.3, l=4)",
+                      full);
+
+  analysis::AnalysisOptions analysis_options;
+  analysis_options.epsilon = options.get_double("epsilon");
+  analysis_options.solver.method =
+      mdp::parse_solver_method(options.get_string("solver"));
+
+  support::Table table(
+      {"Attack Type", "Parameters", "States", "Time (s)", "ERRev"});
+
+  for (const auto& [d, f] : bench::attack_configs(full)) {
+    selfish::AttackParams params{.p = 0.3, .gamma = 0.5, .d = d, .f = f, .l = 4};
+    const support::Timer timer;
+    const auto model = selfish::build_model(params);
+    const auto result = analysis::analyze(model, analysis_options);
+    const double seconds = timer.seconds();
+    table.add_row({"Our Attack",
+                   "d=" + std::to_string(d) + ", f=" + std::to_string(f),
+                   std::to_string(model.mdp.num_states()),
+                   support::format_double(seconds, 4),
+                   support::format_double(result.errev_of_policy, 5)});
+    std::fflush(stdout);
+  }
+
+  {
+    const baselines::SingleTreeParams params{
+        .p = 0.3, .gamma = 0.5, .max_depth = 4, .max_width = 5};
+    const support::Timer timer;
+    const auto result = baselines::analyze_single_tree(params);
+    table.add_row({"Single-tree Selfish Mining", "f=5",
+                   std::to_string(result.states_evaluated),
+                   support::format_double(timer.seconds(), 4),
+                   support::format_double(result.errev, 5)});
+  }
+
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,63 @@
+#include "analysis/algorithm1.hpp"
+
+#include <cmath>
+
+#include "analysis/errev.hpp"
+#include "support/check.hpp"
+#include "support/timer.hpp"
+
+namespace analysis {
+
+AnalysisResult analyze(const selfish::SelfishModel& model,
+                       const AnalysisOptions& options,
+                       const std::vector<double>* warm_start) {
+  SM_REQUIRE(options.epsilon > 0.0 && options.epsilon < 1.0,
+             "epsilon out of (0,1): ", options.epsilon);
+  const support::Timer timer;
+  const mdp::Mdp& m = model.mdp;
+
+  AnalysisResult result;
+  result.beta_lo = 0.0;
+  result.beta_hi = 1.0;
+
+  std::vector<double> values;
+  if (warm_start != nullptr) values = *warm_start;
+  const std::vector<double>* seed = values.empty() ? nullptr : &values;
+
+  while (result.beta_hi - result.beta_lo >= options.epsilon) {
+    const double beta = 0.5 * (result.beta_lo + result.beta_hi);
+    const mdp::MeanPayoffResult solve = mdp::solve_mean_payoff(
+        m, m.beta_rewards(beta), options.solver, seed);
+    SM_ENSURE(solve.converged, "mean-payoff solver did not converge at beta=",
+              beta);
+    ++result.search_iterations;
+    result.solver_iterations += solve.iterations;
+    values = solve.values;
+    seed = values.empty() ? nullptr : &values;
+
+    if (solve.gain < 0.0) {
+      result.beta_hi = beta;
+    } else {
+      result.beta_lo = beta;
+    }
+  }
+  result.errev_lower_bound = result.beta_lo;
+
+  // Final solve at β_lo yields the ε-optimal strategy (Theorem 3.1(2)).
+  const mdp::MeanPayoffResult final_solve = mdp::solve_mean_payoff(
+      m, m.beta_rewards(result.beta_lo), options.solver, seed);
+  SM_ENSURE(final_solve.converged, "final mean-payoff solve did not converge");
+  result.solver_iterations += final_solve.iterations;
+  result.policy = final_solve.policy;
+  result.final_values = final_solve.values;
+
+  if (options.evaluate_exact_errev) {
+    result.errev_of_policy = exact_errev(model, result.policy);
+  } else {
+    result.errev_of_policy = std::nan("");
+  }
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace analysis

@@ -1,0 +1,92 @@
+#include "analysis/amplification.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace analysis {
+
+double log_expected_level_count(double rate, double t, int m) {
+  SM_REQUIRE(rate > 0.0 && t > 0.0, "rate and time must be positive");
+  SM_REQUIRE(m >= 0, "level must be non-negative");
+  return m * std::log(rate * t) - std::lgamma(static_cast<double>(m) + 1.0);
+}
+
+int expected_tree_depth(double rate, double t) {
+  int depth = 0;
+  // E[n_m] is unimodal in m; scan until it drops below 1 past the mode.
+  const int mode = static_cast<int>(rate * t) + 1;
+  for (int m = 1; m <= 64 + 8 * mode; ++m) {
+    if (log_expected_level_count(rate, t, m) >= 0.0) {
+      depth = m;
+    } else if (m > mode) {
+      break;
+    }
+  }
+  return depth;
+}
+
+double amplification_factor(double tol) {
+  SM_REQUIRE(tol > 0.0, "tolerance must be positive");
+  // The frontier level m = c·λt satisfies c(1 − ln c) = 0 at the edge of
+  // expected occupancy 1; f(c) = c(1 − ln c) is positive below the root
+  // and negative above it on c > 1. Bisection on [1, 8].
+  double lo = 1.0, hi = 8.0;
+  while (hi - lo > tol) {
+    const double mid = 0.5 * (lo + hi);
+    const double f = mid * (1.0 - std::log(mid));
+    if (f >= 0.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double tree_depth_growth_rate(double p) {
+  SM_REQUIRE(p >= 0.0 && p <= 1.0, "p out of [0,1]: ", p);
+  return amplification_factor() * p;
+}
+
+double nas_security_threshold() {
+  // e·p = 1−p  ⇒  p = 1/(1+e).
+  return 1.0 / (1.0 + amplification_factor());
+}
+
+bool nas_tree_overtakes(double p) {
+  SM_REQUIRE(p >= 0.0 && p <= 1.0, "p out of [0,1]: ", p);
+  return tree_depth_growth_rate(p) > 1.0 - p;
+}
+
+double pow_catchup_probability(double p, int z) {
+  SM_REQUIRE(p >= 0.0 && p < 0.5, "p out of [0, 0.5): ", p);
+  SM_REQUIRE(z >= 0, "deficit must be non-negative");
+  if (z == 0 || p == 0.0) return z == 0 ? 1.0 : 0.0;
+  return std::pow(p / (1.0 - p), z);
+}
+
+CatchupEstimate mc_pow_catchup(double p, int z, std::uint64_t trials,
+                               std::uint64_t seed, int give_up_deficit) {
+  SM_REQUIRE(p >= 0.0 && p < 0.5, "p out of [0, 0.5): ", p);
+  SM_REQUIRE(z >= 0, "deficit must be non-negative");
+  SM_REQUIRE(trials > 0, "need at least one trial");
+  SM_REQUIRE(give_up_deficit > z, "give-up bound must exceed the deficit");
+
+  support::Rng rng(seed);
+  CatchupEstimate estimate;
+  estimate.trials = trials;
+  for (std::uint64_t trial = 0; trial < trials; ++trial) {
+    int deficit = z;
+    while (deficit > 0 && deficit < give_up_deficit) {
+      deficit += rng.bernoulli(p) ? -1 : 1;
+    }
+    if (deficit == 0) ++estimate.caught_up;
+  }
+  estimate.probability =
+      static_cast<double>(estimate.caught_up) / static_cast<double>(trials);
+  return estimate;
+}
+
+}  // namespace analysis

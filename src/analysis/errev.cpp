@@ -1,0 +1,15 @@
+#include "analysis/errev.hpp"
+
+namespace analysis {
+
+mdp::CounterRates counter_rates(const selfish::SelfishModel& model,
+                                const mdp::Policy& policy) {
+  return mdp::evaluate_policy_counters(model.mdp, policy);
+}
+
+double exact_errev(const selfish::SelfishModel& model,
+                   const mdp::Policy& policy) {
+  return counter_rates(model, policy).ratio();
+}
+
+}  // namespace analysis

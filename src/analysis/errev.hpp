@@ -1,0 +1,25 @@
+// Exact expected relative revenue of a fixed strategy.
+//
+// Under any positional strategy the model is an ergodic unichain (the
+// all-honest reset state is reachable from everywhere — paper Appendix C),
+// so by the strong law of large numbers for Markov chains the ratio
+// R_A/(R_A+R_H) converges almost surely to the ratio of the stationary
+// finalization rates. This gives the "exact value of the expected relative
+// revenue guaranteed by this strategy" that the paper reports.
+#pragma once
+
+#include "mdp/markov_chain.hpp"
+#include "mdp/policy_evaluation.hpp"
+#include "selfish/build.hpp"
+
+namespace analysis {
+
+/// Long-run finalization rates of `policy` (blocks per MDP step).
+mdp::CounterRates counter_rates(const selfish::SelfishModel& model,
+                                const mdp::Policy& policy);
+
+/// ERRev(policy) = g_A / (g_A + g_H).
+double exact_errev(const selfish::SelfishModel& model,
+                   const mdp::Policy& policy);
+
+}  // namespace analysis

@@ -1,0 +1,38 @@
+// Serialization of computed strategies.
+//
+// A strategy file is a self-describing text format: a header pinning the
+// attack parameters (the strategy is only meaningful for the exact model it
+// was computed on), followed by one `state-key action-code` pair per
+// *decision* state (mining states always mine and are omitted). Loading
+// validates the header against the target model and rebuilds a full
+// mdp::Policy. This lets an expensive analysis (e.g. d=4, f=2) be computed
+// once and replayed in the simulator or the explorer.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "mdp/markov_chain.hpp"
+#include "selfish/build.hpp"
+
+namespace analysis {
+
+/// Writes `policy` for `model` to `out`. Throws on a foreign policy.
+void save_strategy(const selfish::SelfishModel& model,
+                   const mdp::Policy& policy, std::ostream& out);
+
+/// Convenience: serialize to a string.
+std::string strategy_to_string(const selfish::SelfishModel& model,
+                               const mdp::Policy& policy);
+
+/// Parses a strategy produced by save_strategy and validates it against
+/// `model` (parameters must match exactly; every decision state must be
+/// covered; every action must be available in its state). Throws
+/// support::InvalidArgument on any mismatch or malformed input.
+mdp::Policy load_strategy(const selfish::SelfishModel& model,
+                          std::istream& in);
+
+mdp::Policy strategy_from_string(const selfish::SelfishModel& model,
+                                 const std::string& text);
+
+}  // namespace analysis

@@ -1,0 +1,50 @@
+#include "analysis/sweep.hpp"
+
+#include "support/check.hpp"
+#include "support/timer.hpp"
+
+namespace analysis {
+
+std::vector<double> linspace_grid(double lo, double hi, double step) {
+  SM_REQUIRE(step > 0.0, "grid step must be positive");
+  SM_REQUIRE(hi >= lo, "grid upper bound below lower bound");
+  std::vector<double> grid;
+  for (int i = 0;; ++i) {
+    const double x = lo + step * i;
+    if (x > hi + 1e-12) break;
+    grid.push_back(x);
+  }
+  return grid;
+}
+
+SweepResult sweep_p(const selfish::AttackParams& base,
+                    const std::vector<double>& ps,
+                    const AnalysisOptions& options) {
+  SweepResult result;
+  result.base = base;
+  result.points.reserve(ps.size());
+
+  std::vector<double> warm;
+  for (const double p : ps) {
+    selfish::AttackParams params = base;
+    params.p = p;
+    params.validate();
+
+    const support::Timer timer;
+    const selfish::SelfishModel model = selfish::build_model(params);
+    const AnalysisResult analysis = analyze(
+        model, options, warm.empty() ? nullptr : &warm);
+    warm = analysis.final_values;
+
+    SweepPoint point;
+    point.p = p;
+    point.errev = analysis.errev_lower_bound;
+    point.errev_of_policy = analysis.errev_of_policy;
+    point.seconds = timer.seconds();
+    point.num_states = model.mdp.num_states();
+    result.points.push_back(point);
+  }
+  return result;
+}
+
+}  // namespace analysis

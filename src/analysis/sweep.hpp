@@ -1,0 +1,38 @@
+// Parameter-sweep drivers producing the paper's experiment series.
+//
+// A sweep runs Algorithm 1 for a list of adversary resources p (Figure 2's
+// x-axis) for one attack configuration, warm-starting each analysis with
+// the previous value vector — the state space is identical across p, only
+// transition probabilities move, so values carry over almost unchanged.
+#pragma once
+
+#include <vector>
+
+#include "analysis/algorithm1.hpp"
+#include "selfish/params.hpp"
+
+namespace analysis {
+
+struct SweepPoint {
+  double p = 0.0;
+  double errev = 0.0;            ///< Certified ε-tight lower bound (β_lo).
+  double errev_of_policy = 0.0;  ///< Exact ERRev of the computed strategy.
+  double seconds = 0.0;
+  std::size_t num_states = 0;
+};
+
+struct SweepResult {
+  selfish::AttackParams base;    ///< γ, d, f, l of the series (p varies).
+  std::vector<SweepPoint> points;
+};
+
+/// Uniform grid lo, lo+step, …, ≤ hi (inclusive within 1e-12 slack).
+std::vector<double> linspace_grid(double lo, double hi, double step);
+
+/// Runs Algorithm 1 for each p in `ps` with the remaining parameters taken
+/// from `base` (its p field is ignored).
+SweepResult sweep_p(const selfish::AttackParams& base,
+                    const std::vector<double>& ps,
+                    const AnalysisOptions& options = {});
+
+}  // namespace analysis

@@ -1,0 +1,56 @@
+// Fairness thresholds: how much adversarial resource can a chain tolerate
+// before optimal selfish mining becomes profitable?
+//
+// A blockchain is *fair* at resource p when the optimal attack earns no
+// more than the honest share: ERRev*(p) ≤ p (§1 of the paper frames
+// selfish mining as an attack on exactly this property; its takeaways are
+// phrased as thresholds, e.g. "d=f=1 only starts to pay off for p > 0.25").
+// This module locates the profitability frontier
+//
+//   p* = inf { p : ERRev*(p) − p > margin }
+//
+// by bisection over p, running Algorithm 1 at each probe. The excess
+// ERRev*(p) − p is empirically monotone in p for these models (see
+// bench_figure2); bisection assumes that monotonicity and the result
+// records every probe so the assumption can be audited.
+#pragma once
+
+#include <vector>
+
+#include "analysis/algorithm1.hpp"
+#include "selfish/params.hpp"
+
+namespace analysis {
+
+struct ThresholdOptions {
+  /// Excess revenue over the honest share that counts as "unfair".
+  double unfairness_margin = 0.005;
+  /// Width of the final p bracket.
+  double p_tolerance = 0.005;
+  /// Search range (0.5 is the trivial upper limit of longest-chain rules).
+  double p_max = 0.45;
+  AnalysisOptions analysis;  ///< Options for each probe of Algorithm 1.
+};
+
+struct ThresholdProbe {
+  double p = 0.0;
+  double errev = 0.0;   ///< Exact ERRev of the computed strategy at p.
+  bool unfair = false;  ///< errev − p > margin.
+};
+
+struct ThresholdResult {
+  /// Midpoint of the final bracket; meaningless when always_fair.
+  double p_threshold = 0.0;
+  double p_lo = 0.0;  ///< Largest probed p still fair.
+  double p_hi = 0.0;  ///< Smallest probed p already unfair.
+  /// True when even p_max is fair (e.g. d=f=1 with γ < 0.5).
+  bool always_fair = false;
+  std::vector<ThresholdProbe> probes;  ///< All Algorithm-1 runs, in order.
+};
+
+/// Locates the profitability frontier for the configuration in `base`
+/// (its p field is ignored).
+ThresholdResult fairness_threshold(const selfish::AttackParams& base,
+                                   const ThresholdOptions& options = {});
+
+}  // namespace analysis

@@ -1,0 +1,100 @@
+#include "baselines/eyal_sirer.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace baselines {
+
+void EyalSirerParams::validate() const {
+  // p ≥ 0.5 makes the adversary's lead a non-recurrent random walk: the
+  // strategy (and the formula) are only defined below one half.
+  SM_REQUIRE(p >= 0.0 && p < 0.5, "p out of [0, 0.5): ", p);
+  SM_REQUIRE(gamma >= 0.0 && gamma <= 1.0, "gamma out of [0,1]: ", gamma);
+}
+
+double eyal_sirer_revenue(const EyalSirerParams& params) {
+  params.validate();
+  const double p = params.p;
+  const double g = params.gamma;
+  const double numerator =
+      p * (1 - p) * (1 - p) * (4 * p + g * (1 - 2 * p)) - p * p * p;
+  const double denominator = 1 - p * (1 + (2 - p) * p);
+  const double revenue = numerator / denominator;
+  // The strategy analysis assumes the adversary abandons losing branches;
+  // its revenue is never negative in the valid range.
+  return revenue < 0.0 ? 0.0 : revenue;
+}
+
+double eyal_sirer_threshold(double gamma) {
+  SM_REQUIRE(gamma >= 0.0 && gamma <= 1.0, "gamma out of [0,1]: ", gamma);
+  return (1 - gamma) / (3 - 2 * gamma);
+}
+
+EyalSirerChainResult eyal_sirer_chain(const EyalSirerParams& params,
+                                      int max_lead) {
+  params.validate();
+  SM_REQUIRE(max_lead >= 3, "max_lead must be at least 3: ", max_lead);
+  const double p = params.p;
+  const double g = params.gamma;
+
+  // State encoding: 0 ↦ lead 0, 1 ↦ the tie race "0'", n ≥ 2 ↦ lead n−1.
+  const std::size_t n_states = static_cast<std::size_t>(max_lead) + 2;
+  const auto lead_index = [](int lead) {
+    return static_cast<std::size_t>(lead) + 1;
+  };
+
+  std::vector<double> mu(n_states, 0.0), next(n_states, 0.0);
+  mu[0] = 1.0;
+  double rate_adv = 0.0, rate_hon = 0.0;
+  for (int iter = 0; iter < 2'000'000; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    // lead 0.
+    next[lead_index(1)] += mu[0] * p;
+    next[0] += mu[0] * (1 - p);
+    // tie race 0' — all outcomes restart the round.
+    next[0] += mu[1];
+    // lead 1.
+    next[lead_index(2)] += mu[lead_index(1)] * p;
+    next[1] += mu[lead_index(1)] * (1 - p);
+    // lead 2: honest block triggers the full override.
+    next[lead_index(3)] += mu[lead_index(2)] * p;
+    next[0] += mu[lead_index(2)] * (1 - p);
+    // lead n ≥ 3: honest block finalizes one deep adversary block.
+    for (int lead = 3; lead <= max_lead; ++lead) {
+      const double mass = mu[lead_index(lead)];
+      if (mass == 0.0) continue;
+      if (lead < max_lead) {
+        next[lead_index(lead + 1)] += mass * p;
+      } else {
+        next[lead_index(lead)] += mass * p;  // reflecting truncation
+      }
+      next[lead_index(lead - 1)] += mass * (1 - p);
+    }
+    double l1 = 0.0;
+    for (std::size_t s = 0; s < n_states; ++s) l1 += std::fabs(next[s] - mu[s]);
+    mu.swap(next);
+    if (l1 < 1e-14) break;
+  }
+
+  // Long-run block rates from the stationary distribution.
+  rate_hon += mu[0] * (1 - p);  // honest block while the adversary has no lead
+  rate_adv += mu[1] * (2 * p + g * (1 - p));
+  rate_hon += mu[1] * ((1 - p) * g + 2 * (1 - p) * (1 - g));
+  rate_adv += mu[lead_index(2)] * (1 - p) * 2;
+  for (int lead = 3; lead <= max_lead; ++lead) {
+    rate_adv += mu[lead_index(lead)] * (1 - p);
+  }
+
+  EyalSirerChainResult result;
+  result.states = n_states;
+  result.expected_adversary = rate_adv;
+  result.expected_honest = rate_hon;
+  const double total = rate_adv + rate_hon;
+  SM_ENSURE(total > 0.0, "blocks are produced at a positive rate");
+  result.errev = rate_adv / total;
+  return result;
+}
+
+}  // namespace baselines

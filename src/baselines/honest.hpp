@@ -1,0 +1,25 @@
+// Baseline 1 (paper §4): the honest mining strategy.
+//
+// An honest miner extends only the leading block of the public chain and
+// publishes immediately, so its long-run share of main-chain blocks equals
+// its resource share p. We also provide the closest in-model embedding — a
+// "release immediately" policy for the attack MDP — used by tests to
+// cross-check the model against the closed form.
+#pragma once
+
+#include "mdp/markov_chain.hpp"
+#include "selfish/build.hpp"
+
+namespace baselines {
+
+/// ERRev of honest mining: exactly p.
+double honest_errev(double p);
+
+/// The in-model honest-equivalent strategy: release every freshly mined
+/// tip-fork block at once (depth 1, full length) and never race a pending
+/// honest block. For d = f = 1 this induces exactly the honest dynamics
+/// (ERRev = p); for larger models it is a conservative no-withholding
+/// strategy.
+mdp::Policy release_immediately_policy(const selfish::SelfishModel& model);
+
+}  // namespace baselines

@@ -1,0 +1,26 @@
+// Basic block types shared by the chain substrate and the simulator.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace chain {
+
+/// Index of a block inside a BlockStore arena.
+using BlockId = std::uint32_t;
+
+inline constexpr BlockId kNoBlock = std::numeric_limits<BlockId>::max();
+
+/// Who mined a block. The adversarial coalition is modeled as one miner.
+enum class Owner : std::uint8_t { kHonest = 0, kAdversary = 1 };
+
+/// A block in the tree of all blocks ever mined (public or private).
+/// Identity is positional (arena index); `parent == kNoBlock` only for
+/// the genesis block.
+struct Block {
+  BlockId parent = kNoBlock;
+  std::uint64_t height = 0;  ///< Genesis has height 0.
+  Owner owner = Owner::kHonest;
+};
+
+}  // namespace chain

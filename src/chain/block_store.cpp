@@ -1,0 +1,48 @@
+#include "chain/block_store.hpp"
+
+#include "support/check.hpp"
+
+namespace chain {
+
+BlockStore::BlockStore() {
+  blocks_.push_back(Block{kNoBlock, 0, Owner::kHonest});
+}
+
+BlockId BlockStore::add_block(BlockId parent, Owner owner) {
+  SM_REQUIRE(parent < blocks_.size(), "unknown parent block ", parent);
+  const Block& p = blocks_[parent];
+  blocks_.push_back(Block{parent, p.height + 1, owner});
+  return static_cast<BlockId>(blocks_.size() - 1);
+}
+
+const Block& BlockStore::get(BlockId id) const {
+  SM_REQUIRE(id < blocks_.size(), "unknown block ", id);
+  return blocks_[id];
+}
+
+BlockId BlockStore::ancestor_at_height(BlockId tip,
+                                       std::uint64_t height) const {
+  BlockId cur = tip;
+  SM_REQUIRE(get(cur).height >= height,
+             "requested ancestor above the tip height");
+  while (get(cur).height > height) cur = get(cur).parent;
+  return cur;
+}
+
+bool BlockStore::is_ancestor(BlockId ancestor, BlockId descendant) const {
+  const std::uint64_t target = get(ancestor).height;
+  if (get(descendant).height < target) return false;
+  return ancestor_at_height(descendant, target) == ancestor;
+}
+
+std::uint64_t BlockStore::adversary_blocks_between(BlockId ancestor,
+                                                   BlockId tip) const {
+  SM_REQUIRE(is_ancestor(ancestor, tip), "blocks are not on one chain");
+  std::uint64_t count = 0;
+  for (BlockId cur = tip; cur != ancestor; cur = get(cur).parent) {
+    if (get(cur).owner == Owner::kAdversary) ++count;
+  }
+  return count;
+}
+
+}  // namespace chain

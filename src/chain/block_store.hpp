@@ -1,0 +1,43 @@
+// Arena of blocks forming a tree rooted at genesis.
+//
+// The simulator mines blocks (public and private) into one shared store;
+// chains are identified by their tip block. The store supports the ancestry
+// queries needed for fork-choice and chain-quality accounting.
+#pragma once
+
+#include <vector>
+
+#include "chain/block.hpp"
+
+namespace chain {
+
+class BlockStore {
+ public:
+  /// Creates a store holding only the genesis block (honest by convention).
+  BlockStore();
+
+  /// Appends a block under `parent`; returns its id.
+  BlockId add_block(BlockId parent, Owner owner);
+
+  const Block& get(BlockId id) const;
+  std::uint64_t height(BlockId id) const { return get(id).height; }
+  std::size_t size() const { return blocks_.size(); }
+  BlockId genesis() const { return 0; }
+
+  /// The ancestor of `tip` at exactly `height`; requires
+  /// height ≤ height(tip).
+  BlockId ancestor_at_height(BlockId tip, std::uint64_t height) const;
+
+  /// True if `ancestor` lies on the path from `descendant` to genesis
+  /// (a block is its own ancestor).
+  bool is_ancestor(BlockId ancestor, BlockId descendant) const;
+
+  /// Number of adversary-owned blocks strictly above `ancestor` on the
+  /// path to `tip` (requires is_ancestor(ancestor, tip)).
+  std::uint64_t adversary_blocks_between(BlockId ancestor, BlockId tip) const;
+
+ private:
+  std::vector<Block> blocks_;
+};
+
+}  // namespace chain

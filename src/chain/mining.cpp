@@ -1,0 +1,37 @@
+#include "chain/mining.hpp"
+
+#include "support/check.hpp"
+
+namespace chain {
+
+MiningModel::MiningModel(double p) : p_(p) {
+  SM_REQUIRE(p >= 0.0 && p <= 1.0, "adversary resource p out of [0,1]: ", p);
+}
+
+double MiningModel::adversary_target_prob(std::uint32_t sigma) const {
+  if (sigma == 0) return 0.0;
+  return p_ / (1.0 - p_ + p_ * static_cast<double>(sigma));
+}
+
+double MiningModel::honest_prob(std::uint32_t sigma) const {
+  if (sigma == 0) return 1.0;
+  return (1.0 - p_) / (1.0 - p_ + p_ * static_cast<double>(sigma));
+}
+
+MiningModel::Outcome MiningModel::sample_step(support::Rng& rng,
+                                              std::uint32_t sigma) const {
+  Outcome outcome;
+  if (sigma == 0) return outcome;
+  const double per_target = adversary_target_prob(sigma);
+  const double adv_total = per_target * static_cast<double>(sigma);
+  const double u = rng.next_double();
+  if (u < adv_total) {
+    outcome.adversary_won = true;
+    // Targets are exchangeable: the winner is uniform among them.
+    outcome.target =
+        static_cast<std::uint32_t>(rng.next_below(sigma));
+  }
+  return outcome;
+}
+
+}  // namespace chain

@@ -1,0 +1,43 @@
+// The paper's discrete-time (p, k)-mining probability model (§2.1).
+//
+// At each time step the adversary concurrently mines on σ targets while the
+// honest miners mine on the single tip of the public chain. Each adversary
+// target wins the step with probability p/(1−p+p·σ) and the honest miners
+// win with probability (1−p)/(1−p+p·σ); exactly one party succeeds per step.
+#pragma once
+
+#include <cstdint>
+
+#include "support/rng.hpp"
+
+namespace chain {
+
+class MiningModel {
+ public:
+  /// `p` is the adversary's relative resource, in [0, 1].
+  explicit MiningModel(double p);
+
+  double p() const { return p_; }
+
+  /// Probability that one specific adversary target wins the step when the
+  /// adversary mines on `sigma` targets.
+  double adversary_target_prob(std::uint32_t sigma) const;
+
+  /// Probability that the honest miners win the step.
+  double honest_prob(std::uint32_t sigma) const;
+
+  /// Outcome of one mining step.
+  struct Outcome {
+    bool adversary_won = false;
+    std::uint32_t target = 0;  ///< Winning target index in [0, σ) if so.
+  };
+
+  /// Samples one step given `sigma` adversary targets (sigma may be 0, in
+  /// which case the honest miners win with probability 1).
+  Outcome sample_step(support::Rng& rng, std::uint32_t sigma) const;
+
+ private:
+  double p_;
+};
+
+}  // namespace chain

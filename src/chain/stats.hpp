@@ -1,0 +1,49 @@
+// Chain-quality accounting over a finished (or snapshotted) chain.
+#pragma once
+
+#include <cstdint>
+
+#include "chain/block_store.hpp"
+
+namespace chain {
+
+/// Counts of main-chain blocks by owner over a chain segment.
+struct OwnershipCount {
+  std::uint64_t honest = 0;
+  std::uint64_t adversary = 0;
+
+  std::uint64_t total() const { return honest + adversary; }
+
+  /// The adversary's relative revenue over the segment; 0 if empty.
+  double relative_revenue() const {
+    const std::uint64_t t = total();
+    return t == 0 ? 0.0 : static_cast<double>(adversary) / static_cast<double>(t);
+  }
+
+  /// Chain quality = 1 − relative revenue (paper §2.2); 1 if empty.
+  double chain_quality() const { return 1.0 - relative_revenue(); }
+};
+
+/// Counts block ownership on the path from `tip` down to (excluding)
+/// `ancestor`. Requires `ancestor` to be an ancestor of `tip`.
+OwnershipCount count_segment(const BlockStore& store, BlockId ancestor,
+                             BlockId tip);
+
+/// (μ, ℓ)-chain quality of a finished owner sequence (paper §2.2): a chain
+/// satisfies (μ, ℓ)-chain quality when every window of ℓ consecutive
+/// blocks contains at least a μ fraction of honest blocks. `worst` is the
+/// largest such μ for the given sequence — the guarantee it actually
+/// provides; `average` is the mean honest fraction across all windows.
+struct WindowQuality {
+  double worst = 1.0;
+  double average = 1.0;
+  std::size_t windows = 0;
+};
+
+/// Computes the sliding-window quality of `owners` (oldest block first)
+/// for windows of length `window`. Requires window ≥ 1; sequences shorter
+/// than the window yield zero windows and the vacuous quality 1.
+WindowQuality window_quality(const std::vector<Owner>& owners,
+                             std::size_t window);
+
+}  // namespace chain

@@ -1,0 +1,94 @@
+#include "mdp/export.hpp"
+
+#include <ostream>
+
+#include "support/check.hpp"
+#include "support/csv.hpp"
+
+namespace mdp {
+
+void export_tra(const Mdp& mdp, std::ostream& out) {
+  out << "mdp\n";
+  for (StateId s = 0; s < mdp.num_states(); ++s) {
+    std::uint32_t offset = 0;
+    for (ActionId a = mdp.action_begin(s); a < mdp.action_end(s);
+         ++a, ++offset) {
+      for (const Transition& t : mdp.transitions(a)) {
+        out << s << ' ' << offset << ' ' << t.target << ' '
+            << support::format_double(t.prob, 17) << '\n';
+      }
+    }
+  }
+}
+
+void export_lab(const Mdp& mdp, std::ostream& out) {
+  out << "#DECLARATION\ninit\n#END\n";
+  out << mdp.initial_state() << " init\n";
+}
+
+void export_rew(const Mdp& mdp, double beta, std::ostream& out) {
+  for (StateId s = 0; s < mdp.num_states(); ++s) {
+    std::uint32_t offset = 0;
+    for (ActionId a = mdp.action_begin(s); a < mdp.action_end(s);
+         ++a, ++offset) {
+      for (const Transition& t : mdp.transitions(a)) {
+        const double reward =
+            t.counts.adversary -
+            beta * (t.counts.adversary + t.counts.honest);
+        if (reward == 0.0) continue;  // sparse reward files
+        out << s << ' ' << offset << ' ' << t.target << ' '
+            << support::format_double(reward, 17) << '\n';
+      }
+    }
+  }
+}
+
+void export_dot(const Mdp& mdp, std::ostream& out, const DotOptions& options) {
+  SM_REQUIRE(mdp.num_states() <= options.max_states,
+             "model too large for DOT output (", mdp.num_states(), " > ",
+             options.max_states, " states)");
+  const auto label = [&](StateId s) {
+    return options.labeler ? options.labeler(s) : std::to_string(s);
+  };
+
+  out << "digraph mdp {\n  rankdir=LR;\n  node [shape=box];\n";
+  for (StateId s = 0; s < mdp.num_states(); ++s) {
+    out << "  s" << s << " [label=\""
+        << support::CsvWriter::escape(label(s)) << '"';
+    if (s == mdp.initial_state()) out << ", peripheries=2";
+    out << "];\n";
+  }
+  for (StateId s = 0; s < mdp.num_states(); ++s) {
+    for (ActionId a = mdp.action_begin(s); a < mdp.action_end(s); ++a) {
+      const auto transitions = mdp.transitions(a);
+      if (transitions.size() == 1 && transitions[0].prob == 1.0) {
+        // Deterministic action: a single labeled edge.
+        const Transition& t = transitions[0];
+        out << "  s" << s << " -> s" << t.target << " [label=\"a"
+            << (a - mdp.action_begin(s));
+        if (t.counts.adversary || t.counts.honest) {
+          out << " +" << t.counts.adversary << "a/+" << t.counts.honest
+              << "h";
+        }
+        out << "\"];\n";
+        continue;
+      }
+      // Probabilistic action: a chance node fanning out.
+      out << "  a" << a << " [shape=point];\n";
+      out << "  s" << s << " -> a" << a << " [label=\"a"
+          << (a - mdp.action_begin(s)) << "\"];\n";
+      for (const Transition& t : transitions) {
+        out << "  a" << a << " -> s" << t.target << " [label=\""
+            << support::format_double(t.prob, 4);
+        if (t.counts.adversary || t.counts.honest) {
+          out << " +" << t.counts.adversary << "a/+" << t.counts.honest
+              << "h";
+        }
+        out << "\"];\n";
+      }
+    }
+  }
+  out << "}\n";
+}
+
+}  // namespace mdp

@@ -1,0 +1,50 @@
+// Model export: PRISM/Storm explicit-state format and Graphviz DOT.
+//
+// The paper solves its MDPs with the Storm model checker; exporting our
+// built models in Storm's explicit input format lets anyone replay a
+// model through the paper's own toolchain and confirm our solvers agree
+// (storm --explicit model.tra model.lab --transrew model.rew …).
+//
+// Format reference (PRISM/Storm "explicit" files):
+//   .tra  — header "mdp", then one line per transition:
+//           <state> <action-offset> <target> <probability>
+//   .lab  — declares "init" and marks the initial state
+//   .rew  — transition rewards: <state> <action-offset> <target> <reward>
+//
+// DOT export renders small models (a few hundred states) for inspection;
+// an optional labeler maps state ids to human-readable names.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "mdp/mdp.hpp"
+
+namespace mdp {
+
+/// Writes the transition structure in Storm explicit .tra format.
+void export_tra(const Mdp& mdp, std::ostream& out);
+
+/// Writes the label file marking the initial state.
+void export_lab(const Mdp& mdp, std::ostream& out);
+
+/// Writes transition rewards for r_β = (1−β)·adv − β·hon at a fixed β.
+void export_rew(const Mdp& mdp, double beta, std::ostream& out);
+
+/// Optional state labeler for DOT output: id → display string.
+using StateLabeler = std::function<std::string(StateId)>;
+
+struct DotOptions {
+  /// Refuse to render models larger than this (DOT becomes useless).
+  StateId max_states = 500;
+  StateLabeler labeler;  ///< Defaults to the numeric id.
+};
+
+/// Writes a Graphviz digraph: square nodes are states (initial doubled),
+/// round points are action choices, edges carry probabilities and
+/// finalization counters.
+void export_dot(const Mdp& mdp, std::ostream& out,
+                const DotOptions& options = {});
+
+}  // namespace mdp

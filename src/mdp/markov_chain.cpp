@@ -1,0 +1,121 @@
+#include "mdp/markov_chain.hpp"
+
+#include <cmath>
+#include <queue>
+
+#include "support/check.hpp"
+
+namespace mdp {
+
+void validate_policy(const Mdp& mdp, const Policy& policy) {
+  SM_REQUIRE(policy.size() == mdp.num_states(),
+             "policy size ", policy.size(), " != number of states ",
+             mdp.num_states());
+  for (StateId s = 0; s < mdp.num_states(); ++s) {
+    SM_REQUIRE(policy[s] >= mdp.action_begin(s) && policy[s] < mdp.action_end(s),
+               "policy assigns state ", s, " a foreign action ", policy[s]);
+  }
+}
+
+namespace {
+
+template <typename SuccessorsFn>
+std::vector<bool> bfs(StateId num_states, StateId from, SuccessorsFn&& succ) {
+  std::vector<bool> seen(num_states, false);
+  std::queue<StateId> frontier;
+  seen[from] = true;
+  frontier.push(from);
+  while (!frontier.empty()) {
+    const StateId s = frontier.front();
+    frontier.pop();
+    succ(s, [&](StateId t) {
+      if (!seen[t]) {
+        seen[t] = true;
+        frontier.push(t);
+      }
+    });
+  }
+  return seen;
+}
+
+}  // namespace
+
+std::vector<bool> reachable_states(const Mdp& mdp, StateId from) {
+  SM_REQUIRE(from < mdp.num_states(), "state out of range");
+  return bfs(mdp.num_states(), from, [&](StateId s, auto&& visit) {
+    for (ActionId a = mdp.action_begin(s); a < mdp.action_end(s); ++a) {
+      for (const Transition& t : mdp.transitions(a)) visit(t.target);
+    }
+  });
+}
+
+std::vector<bool> reachable_states(const Mdp& mdp, const Policy& policy,
+                                   StateId from) {
+  SM_REQUIRE(from < mdp.num_states(), "state out of range");
+  validate_policy(mdp, policy);
+  return bfs(mdp.num_states(), from, [&](StateId s, auto&& visit) {
+    for (const Transition& t : mdp.transitions(policy[s])) visit(t.target);
+  });
+}
+
+StationaryResult stationary_distribution(const Mdp& mdp, const Policy& policy,
+                                         const StationaryOptions& options) {
+  validate_policy(mdp, policy);
+  SM_REQUIRE(options.tau >= 0.0 && options.tau < 1.0,
+             "tau must lie in [0,1): ", options.tau);
+  const StateId n = mdp.num_states();
+
+  StationaryResult result;
+  std::vector<double>& mu = result.distribution;
+  mu.assign(n, 0.0);
+  mu[mdp.initial_state()] = 1.0;
+  std::vector<double> next(n, 0.0);
+
+  const double tau = options.tau;
+  const double one_minus_tau = 1.0 - tau;
+
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    // next = μ · (τI + (1−τ)P); the lazy mix has the same fixpoint as P
+    // but is aperiodic, so power iteration converges.
+    for (StateId s = 0; s < n; ++s) next[s] = tau * mu[s];
+    for (StateId s = 0; s < n; ++s) {
+      if (mu[s] == 0.0) continue;
+      const double mass = one_minus_tau * mu[s];
+      for (const Transition& t : mdp.transitions(policy[s])) {
+        next[t.target] += mass * t.prob;
+      }
+    }
+    double l1 = 0.0;
+    for (StateId s = 0; s < n; ++s) l1 += std::fabs(next[s] - mu[s]);
+    mu.swap(next);
+    result.iterations = iter;
+    if (l1 < options.tol) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // Guard against drift: renormalize to a probability vector.
+  double total = 0.0;
+  for (double x : mu) total += x;
+  SM_ENSURE(total > 0.0, "stationary mass vanished");
+  for (double& x : mu) x /= total;
+  return result;
+}
+
+double policy_gain(const Mdp& mdp, const Policy& policy,
+                   const std::vector<double>& action_reward,
+                   const std::vector<double>& stationary) {
+  validate_policy(mdp, policy);
+  SM_REQUIRE(action_reward.size() == mdp.num_actions(),
+             "reward vector size mismatch");
+  SM_REQUIRE(stationary.size() == mdp.num_states(),
+             "stationary vector size mismatch");
+  double gain = 0.0;
+  for (StateId s = 0; s < mdp.num_states(); ++s) {
+    gain += stationary[s] * action_reward[policy[s]];
+  }
+  return gain;
+}
+
+}  // namespace mdp

@@ -1,0 +1,21 @@
+#include "mdp/mdp.hpp"
+
+namespace mdp {
+
+std::vector<double> Mdp::beta_rewards(double beta) const {
+  std::vector<double> r(num_actions());
+  for (ActionId a = 0; a < num_actions(); ++a) r[a] = beta_reward(a, beta);
+  return r;
+}
+
+std::size_t Mdp::memory_bytes() const {
+  return action_begin_.capacity() * sizeof(ActionId) +
+         action_state_.capacity() * sizeof(StateId) +
+         action_label_.capacity() * sizeof(std::uint32_t) +
+         tr_begin_.capacity() * sizeof(std::uint32_t) +
+         transitions_.capacity() * sizeof(Transition) +
+         exp_adv_.capacity() * sizeof(double) +
+         exp_hon_.capacity() * sizeof(double);
+}
+
+}  // namespace mdp

@@ -1,0 +1,42 @@
+// Howard's policy iteration for mean-payoff (unichain) MDPs.
+//
+// Each round evaluates the current policy's gain and bias (via
+// evaluate_policy_gain) and then improves greedily w.r.t. the bias.
+// An action only replaces the incumbent when its Q-value exceeds the
+// incumbent's by `improve_tol`, which prevents cycling on numerically
+// tied actions. For unichain models this terminates at an optimal policy
+// whose gain matches value iteration within the evaluation tolerance —
+// used in tests to certify the VI results.
+#pragma once
+
+#include <vector>
+
+#include "mdp/markov_chain.hpp"
+#include "mdp/mdp.hpp"
+#include "mdp/value_iteration.hpp"
+
+namespace mdp {
+
+struct PolicyIterationOptions {
+  MeanPayoffOptions evaluation;   ///< RVI options for each evaluation.
+  double improve_tol = 1e-9;      ///< Q improvement needed to switch action.
+  int max_rounds = 1000;
+};
+
+struct PolicyIterationResult {
+  double gain = 0.0;
+  double gain_lo = 0.0;
+  double gain_hi = 0.0;
+  Policy policy;
+  int rounds = 0;
+  bool converged = false;
+};
+
+/// Runs Howard policy iteration starting from the per-state first action
+/// (or `initial_policy` if provided).
+PolicyIterationResult policy_iteration(const Mdp& mdp,
+                                       const std::vector<double>& action_reward,
+                                       const PolicyIterationOptions& options = {},
+                                       const Policy* initial_policy = nullptr);
+
+}  // namespace mdp

@@ -1,0 +1,128 @@
+#include "mdp/serialize.hpp"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "mdp/builder.hpp"
+#include "support/check.hpp"
+
+namespace mdp {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x53454c4d44503031ULL;  // "SELMDP01"
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  SM_REQUIRE(in.good(), "truncated MDP stream");
+  return value;
+}
+
+template <typename T>
+void write_vector(std::ostream& out, const std::vector<T>& v) {
+  write_pod<std::uint64_t>(out, v.size());
+  if (!v.empty()) {
+    out.write(reinterpret_cast<const char*>(v.data()),
+              static_cast<std::streamsize>(v.size() * sizeof(T)));
+  }
+}
+
+template <typename T>
+std::vector<T> read_vector(std::istream& in, std::uint64_t max_size) {
+  const auto size = read_pod<std::uint64_t>(in);
+  SM_REQUIRE(size <= max_size, "implausible vector size in MDP stream: ",
+             size);
+  std::vector<T> v(size);
+  if (size > 0) {
+    in.read(reinterpret_cast<char*>(v.data()),
+            static_cast<std::streamsize>(size * sizeof(T)));
+    SM_REQUIRE(in.good(), "truncated MDP stream");
+  }
+  return v;
+}
+
+}  // namespace
+
+void save_binary(const Mdp& m, std::ostream& out) {
+  write_pod(out, kMagic);
+  write_pod<std::uint32_t>(out, m.initial_state());
+
+  // Flat per-action dump; the builder re-validates on load.
+  write_pod<std::uint64_t>(out, m.num_states());
+  std::vector<std::uint32_t> actions_per_state(m.num_states());
+  for (StateId s = 0; s < m.num_states(); ++s) {
+    actions_per_state[s] = m.num_actions_of(s);
+  }
+  write_vector(out, actions_per_state);
+
+  std::vector<std::uint32_t> labels(m.num_actions());
+  std::vector<std::uint32_t> transitions_per_action(m.num_actions());
+  for (ActionId a = 0; a < m.num_actions(); ++a) {
+    labels[a] = m.action_label(a);
+    transitions_per_action[a] =
+        static_cast<std::uint32_t>(m.transitions(a).size());
+  }
+  write_vector(out, labels);
+  write_vector(out, transitions_per_action);
+
+  std::vector<Transition> transitions;
+  transitions.reserve(m.num_transitions());
+  for (ActionId a = 0; a < m.num_actions(); ++a) {
+    for (const Transition& t : m.transitions(a)) transitions.push_back(t);
+  }
+  write_vector(out, transitions);
+}
+
+Mdp load_binary(std::istream& in) {
+  SM_REQUIRE(read_pod<std::uint64_t>(in) == kMagic,
+             "not an MDP binary stream (bad magic)");
+  const auto initial = read_pod<std::uint32_t>(in);
+  const auto num_states = read_pod<std::uint64_t>(in);
+  constexpr std::uint64_t kMax = 1ull << 33;  // sanity bound
+
+  const auto actions_per_state = read_vector<std::uint32_t>(in, kMax);
+  SM_REQUIRE(actions_per_state.size() == num_states,
+             "state count mismatch in MDP stream");
+  const auto labels = read_vector<std::uint32_t>(in, kMax);
+  const auto transitions_per_action = read_vector<std::uint32_t>(in, kMax);
+  SM_REQUIRE(labels.size() == transitions_per_action.size(),
+             "action arrays disagree in MDP stream");
+  const auto transitions = read_vector<Transition>(in, kMax);
+
+  // Rebuild through the builder so every invariant (stochastic rows,
+  // in-range targets, non-empty states) is re-checked.
+  MdpBuilder builder;
+  std::size_t action_cursor = 0;
+  std::size_t transition_cursor = 0;
+  for (std::uint64_t s = 0; s < num_states; ++s) {
+    builder.add_state();
+    for (std::uint32_t a = 0; a < actions_per_state[s]; ++a) {
+      SM_REQUIRE(action_cursor < labels.size(),
+                 "action payload shorter than the index");
+      builder.add_action(labels[action_cursor]);
+      const std::uint32_t fanout = transitions_per_action[action_cursor];
+      ++action_cursor;
+      for (std::uint32_t t = 0; t < fanout; ++t) {
+        SM_REQUIRE(transition_cursor < transitions.size(),
+                   "transition payload shorter than the index");
+        const Transition& tr = transitions[transition_cursor++];
+        builder.add_transition(tr.target, tr.prob, tr.counts);
+      }
+    }
+  }
+  SM_REQUIRE(action_cursor == labels.size(),
+             "unused actions at the end of the MDP stream");
+  SM_REQUIRE(transition_cursor == transitions.size(),
+             "unused transitions at the end of the MDP stream");
+  return builder.build(initial);
+}
+
+}  // namespace mdp

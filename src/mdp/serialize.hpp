@@ -1,0 +1,25 @@
+// Binary (de)serialization of built MDPs.
+//
+// Large configurations (d=4, f=2 is ~1.2M states / 10M transitions) take
+// longer to enumerate than small ones take to solve; caching the frozen
+// model lets repeated analyses (β sweeps at different ε, simulator runs,
+// exports) skip reconstruction. The format is a versioned, size-prefixed
+// raw dump of the CSR arrays — a same-machine cache, not an interchange
+// format (native endianness; validated by magic + version + structural
+// checks on load).
+#pragma once
+
+#include <iosfwd>
+
+#include "mdp/mdp.hpp"
+
+namespace mdp {
+
+/// Writes `m` to a binary stream (open in std::ios::binary).
+void save_binary(const Mdp& m, std::ostream& out);
+
+/// Reads a model written by save_binary. Throws support::InvalidArgument
+/// on a bad magic/version or a structurally inconsistent payload.
+Mdp load_binary(std::istream& in);
+
+}  // namespace mdp

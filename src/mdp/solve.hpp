@@ -1,0 +1,40 @@
+// Unified facade over the mean-payoff solvers.
+//
+// Algorithm 1 and the sweep drivers address solvers through this facade so
+// that the solver choice is a runtime parameter (mirroring the paper's use
+// of an off-the-shelf model checker as a black box).
+#pragma once
+
+#include <string>
+
+#include "mdp/mdp.hpp"
+#include "mdp/policy_iteration.hpp"
+#include "mdp/value_iteration.hpp"
+
+namespace mdp {
+
+enum class SolverMethod {
+  kValueIteration,        ///< Relative VI with aperiodicity transform.
+  kGaussSeidel,           ///< In-place VI with synchronous certification.
+  kPolicyIteration,       ///< Howard PI with iterative evaluation.
+  kDensePolicyIteration,  ///< Howard PI with exact dense evaluation (small).
+};
+
+/// Parses "vi" | "gs" | "pi" | "dense"; throws otherwise.
+SolverMethod parse_solver_method(const std::string& name);
+std::string to_string(SolverMethod method);
+
+struct SolveOptions {
+  SolverMethod method = SolverMethod::kValueIteration;
+  MeanPayoffOptions mean_payoff;  ///< Tolerances for VI / PI evaluation.
+};
+
+/// Maximizes the mean payoff of `mdp` for the per-action reward vector.
+/// `warm_start` (value vector from a previous related solve) is honored by
+/// the value-iteration method and ignored by the others.
+MeanPayoffResult solve_mean_payoff(const Mdp& mdp,
+                                   const std::vector<double>& action_reward,
+                                   const SolveOptions& options = {},
+                                   const std::vector<double>* warm_start = nullptr);
+
+}  // namespace mdp

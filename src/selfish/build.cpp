@@ -1,0 +1,38 @@
+#include "selfish/build.hpp"
+
+#include "mdp/builder.hpp"
+#include "selfish/transitions.hpp"
+#include "support/check.hpp"
+
+namespace selfish {
+
+SelfishModel build_model(const AttackParams& params) {
+  params.validate();
+  StateSpace space(params);
+  mdp::MdpBuilder builder;
+
+  const mdp::StateId initial = space.intern(State::initial(params));
+  SM_ENSURE(initial == 0, "initial state must receive id 0");
+
+  // Ids are assigned in discovery order, so processing states in id order
+  // is exactly a BFS; every state's actions are streamed into the builder
+  // the moment the state is processed.
+  for (mdp::StateId s_id = 0; s_id < space.size(); ++s_id) {
+    const State s = space.state_of(s_id);
+    const mdp::StateId added = builder.add_state();
+    SM_ENSURE(added == s_id, "builder/state-space id drift");
+
+    for (const Action& action : available_actions(s, params)) {
+      builder.add_action(action.encode());
+      for (const Outcome& outcome : apply_action(s, action, params)) {
+        const mdp::StateId target = space.intern(outcome.next);
+        builder.add_transition(target, outcome.prob, outcome.counts);
+      }
+    }
+  }
+
+  mdp::Mdp built = builder.build(initial);
+  return SelfishModel{params, std::move(space), std::move(built)};
+}
+
+}  // namespace selfish

@@ -1,0 +1,28 @@
+// Caching built selfish-mining models on disk.
+//
+// Wraps mdp::save_binary/load_binary with the attack parameters and the
+// state dictionary, so a reloaded SelfishModel is indistinguishable from a
+// freshly built one. Loading validates that the cached parameters match
+// the requested ones exactly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "selfish/build.hpp"
+
+namespace selfish {
+
+/// Writes the full model (params + state keys + MDP) to a binary stream.
+void save_model(const SelfishModel& model, std::ostream& out);
+
+/// Reads a model written by save_model; `expected` must match the cached
+/// parameters exactly (throws support::InvalidArgument otherwise).
+SelfishModel load_model(std::istream& in, const AttackParams& expected);
+
+/// Convenience: returns the cached model at `path` if present and valid;
+/// otherwise builds it, writes the cache (best effort) and returns it.
+SelfishModel build_or_load_model(const AttackParams& params,
+                                 const std::string& path);
+
+}  // namespace selfish

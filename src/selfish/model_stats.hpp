@@ -1,0 +1,36 @@
+// Structural statistics of a built selfish-mining MDP: composition of the
+// reachable state space and of the action space — the quantities that
+// drive solver cost and explain the Table-1 runtime growth.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "selfish/build.hpp"
+
+namespace selfish {
+
+struct ModelStats {
+  std::size_t states_mining = 0;
+  std::size_t states_honest_found = 0;
+  std::size_t states_adversary_found = 0;
+
+  std::size_t mine_actions = 0;
+  std::size_t release_actions = 0;
+  std::size_t max_actions_per_state = 0;
+  /// Mean number of actions over decision (non-mining) states.
+  double mean_decision_actions = 0.0;
+
+  std::size_t transitions = 0;
+  double mean_branching = 0.0;  ///< Transitions per action.
+
+  /// Largest total withheld length (ΣC) over reachable states.
+  int max_withheld_blocks = 0;
+
+  std::string to_string() const;
+};
+
+/// Single pass over the model; linear in states + transitions.
+ModelStats compute_model_stats(const SelfishModel& model);
+
+}  // namespace selfish

@@ -1,0 +1,112 @@
+#include "selfish/state.hpp"
+
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace selfish {
+
+const char* to_string(StepType type) {
+  switch (type) {
+    case StepType::kMining: return "mining";
+    case StepType::kHonestFound: return "honest";
+    case StepType::kAdversaryFound: return "adversary";
+  }
+  return "?";
+}
+
+State State::initial(const AttackParams& params) {
+  params.validate();
+  return State{};  // zero forks, all-honest ownership, mining
+}
+
+void State::canonicalize(const AttackParams& params) {
+  for (int i = 0; i < params.d; ++i) {
+    auto& row = c[i];
+    // Insertion sort, descending; rows have at most kMaxForks entries.
+    for (int j = 1; j < params.f; ++j) {
+      const std::uint8_t v = row[j];
+      int pos = j;
+      while (pos > 0 && row[pos - 1] < v) {
+        row[pos] = row[pos - 1];
+        --pos;
+      }
+      row[pos] = v;
+    }
+  }
+}
+
+bool State::is_canonical(const AttackParams& params) const {
+  for (int i = 0; i < kMaxDepth; ++i) {
+    for (int j = 0; j < kMaxForks; ++j) {
+      if (i >= params.d || j >= params.f) {
+        if (c[i][j] != 0) return false;
+      } else {
+        if (c[i][j] > params.l) return false;
+        if (j > 0 && c[i][j] > c[i][j - 1]) return false;
+      }
+    }
+  }
+  if ((owner_bits >> (params.d - 1)) != 0) return false;
+  return true;
+}
+
+std::uint64_t State::pack(const AttackParams& params) const {
+  const int bits = params.bits_per_cell();
+  std::uint64_t key = 0;
+  int shift = 0;
+  for (int i = 0; i < params.d; ++i) {
+    for (int j = 0; j < params.f; ++j) {
+      key |= static_cast<std::uint64_t>(c[i][j]) << shift;
+      shift += bits;
+    }
+  }
+  key |= static_cast<std::uint64_t>(owner_bits) << shift;
+  shift += params.d - 1;
+  key |= static_cast<std::uint64_t>(type) << shift;
+  return key;
+}
+
+State State::unpack(std::uint64_t key, const AttackParams& params) {
+  const int bits = params.bits_per_cell();
+  const std::uint64_t cell_mask = (1ull << bits) - 1;
+  State s;
+  int shift = 0;
+  for (int i = 0; i < params.d; ++i) {
+    for (int j = 0; j < params.f; ++j) {
+      s.c[i][j] = static_cast<std::uint8_t>((key >> shift) & cell_mask);
+      SM_ENSURE(s.c[i][j] <= params.l, "unpacked fork length out of range");
+      shift += bits;
+    }
+  }
+  const std::uint64_t owner_mask = (1ull << (params.d - 1)) - 1;
+  s.owner_bits = static_cast<std::uint8_t>((key >> shift) & owner_mask);
+  shift += params.d - 1;
+  const std::uint64_t type_raw = (key >> shift) & 0x3u;
+  SM_ENSURE(type_raw <= 2, "unpacked step type out of range");
+  s.type = static_cast<StepType>(type_raw);
+  return s;
+}
+
+std::string State::to_string(const AttackParams& params) const {
+  std::ostringstream os;
+  os << "C=[";
+  for (int i = 0; i < params.d; ++i) {
+    if (i) os << ',';
+    os << '[';
+    for (int j = 0; j < params.f; ++j) {
+      if (j) os << ',';
+      os << static_cast<int>(c[i][j]);
+    }
+    os << ']';
+  }
+  os << "] O=[";
+  for (int depth = 1; depth <= params.d - 1; ++depth) {
+    if (depth > 1) os << ',';
+    os << (adversary_owns(depth) ? 'a' : 'h');
+  }
+  os << "] type=" << selfish::to_string(type);
+  return os.str();
+}
+
+}  // namespace selfish

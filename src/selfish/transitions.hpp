@@ -1,0 +1,45 @@
+// Probabilistic transition semantics of the selfish-mining MDP.
+//
+// apply_action is a pure function from (state, action) to a distribution
+// over successor states, each outcome annotated with the number of blocks
+// it finalizes per owner. These counters drive the β-reward family of the
+// formal analysis: r_β = (1−β)·adversary − β·honest.
+//
+// Finality rule (DESIGN.md §3): a block is final once at public depth ≥ d,
+// because the deepest representable fork (rooted at depth d) can only
+// orphan depths 1..d−1. Ownership of depths 1..d−1 is tracked in O;
+// rewards fire exactly when a block crosses the depth-d boundary, and
+// orphaned blocks (public blocks replaced by an accepted fork, or a pending
+// honest block that loses a race) never pay.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mdp/types.hpp"
+#include "selfish/actions.hpp"
+#include "selfish/state.hpp"
+
+namespace selfish {
+
+/// One probabilistic outcome of an action.
+struct Outcome {
+  State next;
+  double prob = 0.0;
+  mdp::RewardCounts counts;  ///< Blocks finalized by this outcome.
+};
+
+/// Number of concurrent adversary mining targets σ in `s`: one per
+/// non-empty private fork (tip extension) plus one per depth that still
+/// has an empty fork slot (new-fork creation). σ ≥ d ≥ 1 always.
+std::uint32_t mining_targets(const State& s, const AttackParams& params);
+
+/// Applies `action` (must be available in `s` per available_actions) and
+/// returns the successor distribution over canonical states. Outcomes with
+/// probability 0 (e.g. the losing side of a γ ∈ {0,1} race) are omitted;
+/// outcomes reaching the same canonical state are NOT merged here — the
+/// model builder merges them.
+std::vector<Outcome> apply_action(const State& s, const Action& action,
+                                  const AttackParams& params);
+
+}  // namespace selfish

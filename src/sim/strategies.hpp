@@ -1,0 +1,43 @@
+// Ready-made strategies for the simulator.
+#pragma once
+
+#include "mdp/markov_chain.hpp"
+#include "selfish/build.hpp"
+#include "sim/simulator.hpp"
+
+namespace sim {
+
+/// Plays the positional strategy computed by the formal analysis: looks up
+/// the abstract view in the model's state space and decodes the action the
+/// policy assigns. Throws if the view is not an enumerated state (which
+/// would indicate a simulator/model semantics divergence — this lookup is
+/// itself part of the cross-validation).
+class MdpPolicyStrategy : public Strategy {
+ public:
+  /// Both `model` and `policy` are borrowed; the caller keeps them alive.
+  MdpPolicyStrategy(const selfish::SelfishModel& model,
+                    const mdp::Policy& policy);
+
+  selfish::Action decide(const selfish::State& view) override;
+
+ private:
+  const selfish::SelfishModel* model_;
+  const mdp::Policy* policy_;
+};
+
+/// Honest-equivalent behavior: publish every tip block immediately, never
+/// race. Under d = f = 1 this reproduces honest mining exactly (ERRev = p).
+class ReleaseImmediatelyStrategy : public Strategy {
+ public:
+  selfish::Action decide(const selfish::State& view) override;
+};
+
+/// Pure withholding: never releases anything. Forks simply die at the
+/// window edge, so the adversary finalizes nothing (ERRev → 0). Used by
+/// tests as a degenerate reference point.
+class NeverReleaseStrategy : public Strategy {
+ public:
+  selfish::Action decide(const selfish::State& view) override;
+};
+
+}  // namespace sim

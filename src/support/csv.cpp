@@ -1,0 +1,58 @@
+#include "support/csv.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "support/check.hpp"
+
+namespace support {
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+  SM_REQUIRE(!wrote_header_ && !wrote_row_,
+             "CSV header must be written exactly once, before data");
+  wrote_header_ = true;
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i) *out_ << ',';
+    *out_ << escape(columns[i]);
+  }
+  *out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  wrote_row_ = true;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) *out_ << ',';
+    *out_ << escape(cells[i]);
+  }
+  *out_ << '\n';
+}
+
+void CsvWriter::row_numeric(const std::vector<double>& cells, int precision) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  for (double v : cells) formatted.push_back(format_double(v, precision));
+  row(formatted);
+}
+
+std::string format_double(double value, int precision) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+  return buf;
+}
+
+}  // namespace support

@@ -1,0 +1,40 @@
+// Minimal CSV writer used by benches to emit figure/table series that can
+// be plotted or diffed against the paper's reported curves.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace support {
+
+/// Streams rows of comma-separated values with proper quoting.
+///
+/// The writer does not own the output stream; callers keep it alive for the
+/// writer's lifetime (typically std::cout or an std::ofstream on the stack).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Writes a header row. Must be called before any data rows (checked).
+  void header(const std::vector<std::string>& columns);
+
+  /// Writes one row of already-formatted cells.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: formats doubles with `precision` significant digits.
+  void row_numeric(const std::vector<double>& cells, int precision = 10);
+
+  /// Escapes a single cell per RFC 4180 (quotes cells with , " or newline).
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::ostream* out_;
+  bool wrote_header_ = false;
+  bool wrote_row_ = false;
+};
+
+/// Formats a double compactly (no trailing zeros) for CSV/table cells.
+std::string format_double(double value, int precision = 10);
+
+}  // namespace support

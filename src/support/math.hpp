@@ -1,0 +1,43 @@
+// Small numeric helpers shared across solvers and tests.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace support {
+
+/// Absolute-difference comparison with a symmetric tolerance.
+inline bool almost_equal(double a, double b, double tol = 1e-9) {
+  return std::fabs(a - b) <= tol;
+}
+
+/// max_i |a[i] - b[i]| over two equally sized vectors; 0 for empty input.
+inline double max_abs_diff(const std::vector<double>& a,
+                           const std::vector<double>& b) {
+  double m = 0.0;
+  const std::size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double diff = std::fabs(a[i] - b[i]);
+    if (diff > m) m = diff;
+  }
+  return m;
+}
+
+/// Span seminorm of a vector: max(v) - min(v); 0 for empty input.
+inline double span(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double lo = v[0], hi = v[0];
+  for (double x : v) {
+    if (x < lo) lo = x;
+    if (x > hi) hi = x;
+  }
+  return hi - lo;
+}
+
+/// Clamps x into [lo, hi].
+inline double clamp(double x, double lo, double hi) {
+  return x < lo ? lo : (x > hi ? hi : x);
+}
+
+}  // namespace support

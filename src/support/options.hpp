@@ -1,0 +1,49 @@
+// Tiny command-line / environment option parser for examples and benches.
+//
+// Accepted syntax: --name=value, --name value, --flag. Unknown options are
+// rejected so typos surface immediately. Environment variables (upper-case,
+// prefix "SELFISH_") act as defaults that the command line can override,
+// which lets `ctest`/CI tune bench scale without editing commands.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace support {
+
+class Options {
+ public:
+  /// Declares an option with a default value (all values are strings
+  /// internally; typed getters parse on access).
+  void declare(const std::string& name, const std::string& default_value,
+               const std::string& help);
+
+  /// Parses argv, applying SELFISH_<NAME> environment defaults first.
+  /// Throws support::InvalidArgument on unknown or malformed options.
+  void parse(int argc, const char* const* argv);
+
+  std::string get_string(const std::string& name) const;
+  int get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// True if the user supplied the option explicitly (CLI or environment).
+  bool was_set(const std::string& name) const;
+
+  /// Renders a --help style usage block.
+  std::string usage(const std::string& program) const;
+
+ private:
+  struct Decl {
+    std::string default_value;
+    std::string help;
+  };
+  const Decl& find(const std::string& name) const;
+
+  std::map<std::string, Decl> decls_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace support

@@ -1,0 +1,53 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace support {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  SM_REQUIRE(!columns_.empty(), "a table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  SM_REQUIRE(cells.size() == columns_.size(),
+             "row has ", cells.size(), " cells, expected ", columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    out << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << ' ' << cells[c]
+          << std::string(widths[c] - cells[c].size(), ' ') << " |";
+    }
+    out << '\n';
+  };
+  auto print_rule = [&] {
+    out << '+';
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      out << std::string(widths[c] + 2, '-') << '+';
+    }
+    out << '\n';
+  };
+
+  print_rule();
+  print_row(columns_);
+  print_rule();
+  for (const auto& row : rows_) print_row(row);
+  print_rule();
+}
+
+}  // namespace support

@@ -1,0 +1,29 @@
+// Aligned console tables for bench/example output (paper-style tables).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace support {
+
+/// Collects rows and renders an aligned, boxed ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  /// Appends a data row; must have exactly as many cells as there are
+  /// columns (checked).
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table with column separators and a header rule.
+  void print(std::ostream& out) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace support

@@ -1,0 +1,28 @@
+// Wall-clock timing for runtime tables (paper Table 1) and solver stats.
+#pragma once
+
+#include <chrono>
+
+namespace support {
+
+/// Monotonic wall-clock stopwatch, running from construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last reset().
+  double millis() const { return seconds() * 1e3; }
+
+  void reset() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace support

@@ -1,0 +1,117 @@
+// Tree amplification and double-spend catch-up (paper §1 / Appendix A).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/amplification.hpp"
+#include "support/check.hpp"
+
+namespace {
+
+TEST(Amplification, FactorIsEulersNumber) {
+  // Computed by root finding, not hard-coded: must equal e tightly.
+  EXPECT_NEAR(analysis::amplification_factor(), std::exp(1.0), 1e-9);
+}
+
+TEST(Amplification, SecurityThresholdMatchesPaper) {
+  // Paper §1: "security requires that the adversary controls less than
+  // 1/(1+e) ≈ 0.269 fraction of the total resources."
+  EXPECT_NEAR(analysis::nas_security_threshold(), 1.0 / (1.0 + std::exp(1.0)),
+              1e-9);
+  EXPECT_NEAR(analysis::nas_security_threshold(), 0.2689, 1e-3);
+}
+
+TEST(Amplification, OvertakeExactlyAboveThreshold) {
+  const double threshold = analysis::nas_security_threshold();
+  EXPECT_FALSE(analysis::nas_tree_overtakes(threshold - 0.01));
+  EXPECT_TRUE(analysis::nas_tree_overtakes(threshold + 0.01));
+  // PoW would tolerate the same adversary: 0.28 < 0.5 — the gap the paper
+  // highlights between PoW and efficient proof systems.
+  EXPECT_LT(threshold + 0.01, 0.5);
+}
+
+TEST(Amplification, YuleLevelCountsMatchPoissonForm) {
+  // E[n_m(t)] = (λt)^m / m!; check a few values in log space.
+  EXPECT_NEAR(analysis::log_expected_level_count(0.5, 2.0, 0), 0.0, 1e-12);
+  EXPECT_NEAR(analysis::log_expected_level_count(0.5, 2.0, 1), 0.0, 1e-12);
+  EXPECT_NEAR(analysis::log_expected_level_count(1.0, 3.0, 2),
+              2 * std::log(3.0) - std::log(2.0), 1e-12);
+}
+
+TEST(Amplification, ExpectedDepthGrowsLikeERT) {
+  // Frontier of the Yule tree: the exact occupancy-1 level solves
+  // m(1 + ln(λt/m)) = ½·ln(2πm) — i.e. e·λ·t minus a Stirling correction
+  // of ½·ln(2π·e·λ·t) (the derivative of the left side is −1 at m = eλt).
+  for (const double t : {50.0, 100.0, 200.0, 400.0}) {
+    const double rate = 0.3;
+    const int depth = analysis::expected_tree_depth(rate, t);
+    const double asymptote = std::exp(1.0) * rate * t;
+    const double corrected =
+        asymptote - 0.5 * std::log(2.0 * M_PI * asymptote);
+    EXPECT_NEAR(depth, corrected, 2.0) << "t=" << t;
+    EXPECT_LT(depth, asymptote);
+  }
+  // The relative gap to e·λ·t closes as t grows.
+  const double ratio_small =
+      analysis::expected_tree_depth(0.3, 50.0) / (std::exp(1.0) * 0.3 * 50.0);
+  const double ratio_large =
+      analysis::expected_tree_depth(0.3, 2000.0) /
+      (std::exp(1.0) * 0.3 * 2000.0);
+  EXPECT_GT(ratio_large, ratio_small);
+  EXPECT_GT(ratio_large, 0.99);
+}
+
+TEST(Amplification, DepthMonotoneInTime) {
+  int previous = 0;
+  for (double t = 10.0; t <= 100.0; t += 10.0) {
+    const int depth = analysis::expected_tree_depth(0.2, t);
+    EXPECT_GE(depth, previous);
+    previous = depth;
+  }
+}
+
+TEST(DoubleSpend, PowClosedFormBasics) {
+  EXPECT_DOUBLE_EQ(analysis::pow_catchup_probability(0.3, 0), 1.0);
+  EXPECT_DOUBLE_EQ(analysis::pow_catchup_probability(0.0, 3), 0.0);
+  EXPECT_NEAR(analysis::pow_catchup_probability(0.3, 1), 3.0 / 7.0, 1e-12);
+  EXPECT_NEAR(analysis::pow_catchup_probability(0.3, 6),
+              std::pow(3.0 / 7.0, 6), 1e-12);
+}
+
+TEST(DoubleSpend, ProbabilityDecreasesWithDeficit) {
+  double previous = 2.0;
+  for (int z = 0; z <= 8; ++z) {
+    const double prob = analysis::pow_catchup_probability(0.25, z);
+    EXPECT_LT(prob, previous);
+    previous = prob;
+  }
+}
+
+TEST(DoubleSpend, MonteCarloMatchesClosedForm) {
+  for (const double p : {0.15, 0.3}) {
+    for (const int z : {1, 3}) {
+      const auto estimate = analysis::mc_pow_catchup(p, z, 200'000, 77);
+      EXPECT_NEAR(estimate.probability,
+                  analysis::pow_catchup_probability(p, z), 0.01)
+          << "p=" << p << " z=" << z;
+    }
+  }
+}
+
+TEST(DoubleSpend, MonteCarloDeterministicUnderSeed) {
+  const auto a = analysis::mc_pow_catchup(0.3, 2, 10'000, 5);
+  const auto b = analysis::mc_pow_catchup(0.3, 2, 10'000, 5);
+  EXPECT_EQ(a.caught_up, b.caught_up);
+}
+
+TEST(DoubleSpend, RejectsInvalidArguments) {
+  EXPECT_THROW(analysis::pow_catchup_probability(0.6, 1),
+               support::InvalidArgument);
+  EXPECT_THROW(analysis::pow_catchup_probability(0.3, -1),
+               support::InvalidArgument);
+  EXPECT_THROW(analysis::mc_pow_catchup(0.3, 2, 0), support::InvalidArgument);
+  EXPECT_THROW(analysis::mc_pow_catchup(0.3, 50, 10, 1, 40),
+               support::InvalidArgument);
+}
+
+}  // namespace

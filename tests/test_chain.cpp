@@ -1,0 +1,141 @@
+// Blockchain substrate: block store, mining model, chain statistics.
+#include <gtest/gtest.h>
+
+#include "chain/block_store.hpp"
+#include "chain/mining.hpp"
+#include "chain/stats.hpp"
+#include "support/check.hpp"
+
+namespace {
+
+TEST(BlockStore, GenesisProperties) {
+  chain::BlockStore store;
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.height(store.genesis()), 0u);
+  EXPECT_EQ(store.get(store.genesis()).parent, chain::kNoBlock);
+}
+
+TEST(BlockStore, HeightsIncrement) {
+  chain::BlockStore store;
+  const auto b1 = store.add_block(store.genesis(), chain::Owner::kHonest);
+  const auto b2 = store.add_block(b1, chain::Owner::kAdversary);
+  EXPECT_EQ(store.height(b1), 1u);
+  EXPECT_EQ(store.height(b2), 2u);
+  EXPECT_EQ(store.get(b2).parent, b1);
+}
+
+TEST(BlockStore, AncestorAtHeight) {
+  chain::BlockStore store;
+  chain::BlockId tip = store.genesis();
+  std::vector<chain::BlockId> chain_ids{tip};
+  for (int i = 0; i < 10; ++i) {
+    tip = store.add_block(tip, chain::Owner::kHonest);
+    chain_ids.push_back(tip);
+  }
+  for (std::uint64_t h = 0; h <= 10; ++h) {
+    EXPECT_EQ(store.ancestor_at_height(tip, h), chain_ids[h]);
+  }
+  EXPECT_THROW(store.ancestor_at_height(chain_ids[3], 5),
+               support::InvalidArgument);
+}
+
+TEST(BlockStore, IsAncestorOnForks) {
+  chain::BlockStore store;
+  const auto trunk = store.add_block(store.genesis(), chain::Owner::kHonest);
+  const auto left = store.add_block(trunk, chain::Owner::kHonest);
+  const auto right = store.add_block(trunk, chain::Owner::kAdversary);
+  EXPECT_TRUE(store.is_ancestor(trunk, left));
+  EXPECT_TRUE(store.is_ancestor(trunk, right));
+  EXPECT_TRUE(store.is_ancestor(left, left));
+  EXPECT_FALSE(store.is_ancestor(left, right));
+  EXPECT_FALSE(store.is_ancestor(right, left));
+}
+
+TEST(BlockStore, AdversaryBlocksBetween) {
+  chain::BlockStore store;
+  auto tip = store.genesis();
+  tip = store.add_block(tip, chain::Owner::kAdversary);
+  tip = store.add_block(tip, chain::Owner::kHonest);
+  tip = store.add_block(tip, chain::Owner::kAdversary);
+  EXPECT_EQ(store.adversary_blocks_between(store.genesis(), tip), 2u);
+}
+
+TEST(Stats, CountSegment) {
+  chain::BlockStore store;
+  auto tip = store.genesis();
+  const auto mark = tip = store.add_block(tip, chain::Owner::kHonest);
+  tip = store.add_block(tip, chain::Owner::kAdversary);
+  tip = store.add_block(tip, chain::Owner::kAdversary);
+  tip = store.add_block(tip, chain::Owner::kHonest);
+  const auto count = chain::count_segment(store, mark, tip);
+  EXPECT_EQ(count.adversary, 2u);
+  EXPECT_EQ(count.honest, 1u);
+  EXPECT_EQ(count.total(), 3u);
+  EXPECT_NEAR(count.relative_revenue(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(count.chain_quality(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Stats, EmptySegment) {
+  chain::BlockStore store;
+  const auto count =
+      chain::count_segment(store, store.genesis(), store.genesis());
+  EXPECT_EQ(count.total(), 0u);
+  EXPECT_DOUBLE_EQ(count.relative_revenue(), 0.0);
+  EXPECT_DOUBLE_EQ(count.chain_quality(), 1.0);
+}
+
+TEST(Mining, ProbabilitiesMatchPaperFormula) {
+  const chain::MiningModel model(0.3);
+  for (const std::uint32_t sigma : {1u, 2u, 5u, 10u}) {
+    const double denom = 1.0 - 0.3 + 0.3 * sigma;
+    EXPECT_NEAR(model.adversary_target_prob(sigma), 0.3 / denom, 1e-12);
+    EXPECT_NEAR(model.honest_prob(sigma), 0.7 / denom, 1e-12);
+    // One party succeeds per step: probabilities are exhaustive.
+    EXPECT_NEAR(model.adversary_target_prob(sigma) * sigma +
+                    model.honest_prob(sigma),
+                1.0, 1e-12);
+  }
+}
+
+TEST(Mining, SigmaOneReducesToBitcoinSplit) {
+  const chain::MiningModel model(0.3);
+  EXPECT_NEAR(model.adversary_target_prob(1), 0.3, 1e-12);
+  EXPECT_NEAR(model.honest_prob(1), 0.7, 1e-12);
+}
+
+TEST(Mining, ZeroTargetsMeansHonestWins) {
+  const chain::MiningModel model(0.3);
+  EXPECT_DOUBLE_EQ(model.adversary_target_prob(0), 0.0);
+  EXPECT_DOUBLE_EQ(model.honest_prob(0), 1.0);
+  support::Rng rng(1);
+  const auto outcome = model.sample_step(rng, 0);
+  EXPECT_FALSE(outcome.adversary_won);
+}
+
+TEST(Mining, SampleFrequencies) {
+  const chain::MiningModel model(0.25);
+  support::Rng rng(33);
+  const std::uint32_t sigma = 3;
+  const int n = 200000;
+  int adv = 0;
+  std::vector<int> per_target(sigma, 0);
+  for (int i = 0; i < n; ++i) {
+    const auto outcome = model.sample_step(rng, sigma);
+    if (outcome.adversary_won) {
+      ++adv;
+      per_target[outcome.target]++;
+    }
+  }
+  const double expect_adv = model.adversary_target_prob(sigma) * sigma;
+  EXPECT_NEAR(adv / double(n), expect_adv, 0.01);
+  for (std::uint32_t t = 0; t < sigma; ++t) {
+    EXPECT_NEAR(per_target[t] / double(n), expect_adv / sigma, 0.01);
+  }
+}
+
+TEST(Mining, RejectsBadResource) {
+  EXPECT_THROW(chain::MiningModel(-0.1), support::InvalidArgument);
+  EXPECT_THROW(chain::MiningModel(1.1), support::InvalidArgument);
+}
+
+}  // namespace

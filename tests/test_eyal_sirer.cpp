@@ -1,0 +1,89 @@
+// Eyal–Sirer PoW baseline: closed form vs Markov-chain evaluation, known
+// thresholds, and the contrast with the efficient-proof-system attack.
+#include <gtest/gtest.h>
+
+#include "analysis/algorithm1.hpp"
+#include "baselines/eyal_sirer.hpp"
+#include "selfish/build.hpp"
+#include "support/check.hpp"
+
+namespace {
+
+using baselines::EyalSirerParams;
+
+TEST(EyalSirer, ThresholdClosedForms) {
+  // γ=0: 1/3; γ=1: 0; γ=0.5: 1/4 — the classic tolerance numbers quoted
+  // in the paper's related-work discussion.
+  EXPECT_NEAR(baselines::eyal_sirer_threshold(0.0), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(baselines::eyal_sirer_threshold(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(baselines::eyal_sirer_threshold(0.5), 0.25, 1e-12);
+}
+
+TEST(EyalSirer, FormulaMatchesChainEvaluation) {
+  for (const double p : {0.1, 0.2, 0.3, 0.4, 0.45}) {
+    for (const double gamma : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+      const EyalSirerParams params{.p = p, .gamma = gamma};
+      const double formula = baselines::eyal_sirer_revenue(params);
+      const auto chain = baselines::eyal_sirer_chain(params);
+      EXPECT_NEAR(chain.errev, formula, 1e-6)
+          << "p=" << p << " gamma=" << gamma;
+    }
+  }
+}
+
+TEST(EyalSirer, BeatsHonestAboveThresholdOnly) {
+  for (const double gamma : {0.0, 0.5, 1.0}) {
+    const double threshold = baselines::eyal_sirer_threshold(gamma);
+    if (threshold > 0.06) {
+      const double below = threshold - 0.05;
+      EXPECT_LT(baselines::eyal_sirer_revenue({below, gamma}), below)
+          << "gamma=" << gamma;
+    }
+    const double above = threshold + 0.05;
+    if (above < 0.5) {
+      EXPECT_GT(baselines::eyal_sirer_revenue({above, gamma}), above)
+          << "gamma=" << gamma;
+    }
+  }
+}
+
+TEST(EyalSirer, RevenueMonotoneInGamma) {
+  double previous = -1.0;
+  for (double gamma = 0.0; gamma <= 1.0; gamma += 0.1) {
+    const double revenue = baselines::eyal_sirer_revenue({0.3, gamma});
+    EXPECT_GE(revenue, previous - 1e-12);
+    previous = revenue;
+  }
+}
+
+TEST(EyalSirer, ZeroResourceZeroRevenue) {
+  EXPECT_DOUBLE_EQ(baselines::eyal_sirer_revenue({0.0, 0.5}), 0.0);
+  EXPECT_NEAR(baselines::eyal_sirer_chain({0.0, 0.5}).errev, 0.0, 1e-12);
+}
+
+TEST(EyalSirer, RejectsInvalidParameters) {
+  EXPECT_THROW(baselines::eyal_sirer_revenue({0.5, 0.5}),
+               support::InvalidArgument);
+  EXPECT_THROW(baselines::eyal_sirer_revenue({0.3, 1.5}),
+               support::InvalidArgument);
+  EXPECT_THROW(baselines::eyal_sirer_threshold(-0.1),
+               support::InvalidArgument);
+  EXPECT_THROW(baselines::eyal_sirer_chain({0.3, 0.5}, 2),
+               support::InvalidArgument);
+}
+
+TEST(EyalSirer, NaSAttackDominatesPoWAttack) {
+  // The paper's headline comparison: multi-fork NaS mining earns strictly
+  // more than the classic single-chain PoW attack under the same (p, γ).
+  for (const double gamma : {0.0, 0.5, 1.0}) {
+    const double pow_rev = baselines::eyal_sirer_revenue({0.3, gamma});
+    const auto model = selfish::build_model(
+        selfish::AttackParams{.p = 0.3, .gamma = gamma, .d = 2, .f = 2, .l = 4});
+    analysis::AnalysisOptions options;
+    options.epsilon = 1e-4;
+    const double nas_rev = analysis::analyze(model, options).errev_of_policy;
+    EXPECT_GT(nas_rev, pow_rev + 0.02) << "gamma=" << gamma;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,77 @@
+// Shared fixtures: small hand-checkable MDPs and random-model generators
+// used across the solver test files.
+#pragma once
+
+#include <vector>
+
+#include "mdp/builder.hpp"
+#include "mdp/mdp.hpp"
+#include "support/rng.hpp"
+
+namespace test_helpers {
+
+/// A two-state, purely deterministic cycle:
+///   s0 --a--> s1 (adversary count 1), s1 --a--> s0 (honest count 1).
+/// Gain of the only policy under reward (adv − β(adv+hon)) is 1/2 − β.
+inline mdp::Mdp two_state_cycle() {
+  mdp::MdpBuilder b;
+  b.add_state();
+  b.add_action();
+  b.add_transition(1, 1.0, {1, 0});
+  b.add_state();
+  b.add_action();
+  b.add_transition(0, 1.0, {0, 1});
+  return b.build(0);
+}
+
+/// The textbook two-action chain:
+///   s0: action "stay" self-loops with reward counts (1,1) — gain 0 for
+///       β = 1/2; action "go" moves to s1 with counts (1,0);
+///   s1: single action back to s0 with counts (1,0).
+/// Optimal mean payoff under reward = adv − β·(adv+hon):
+///   stay forever:    1 − 2β
+///   cycle s0<->s1:   1 − β
+/// so "go" is optimal for all β > 0.
+inline mdp::Mdp two_action_choice() {
+  mdp::MdpBuilder b;
+  b.add_state();
+  b.add_action(/*label=*/0);  // stay
+  b.add_transition(0, 1.0, {1, 1});
+  b.add_action(/*label=*/1);  // go
+  b.add_transition(1, 1.0, {1, 0});
+  b.add_state();
+  b.add_action(/*label=*/2);
+  b.add_transition(0, 1.0, {1, 0});
+  return b.build(0);
+}
+
+/// A random strongly-connected-ish MDP: every action has a positive-
+/// probability edge back to state 0, making every policy unichain.
+inline mdp::Mdp random_unichain(support::Rng& rng, int num_states,
+                                int max_actions, int max_branch) {
+  mdp::MdpBuilder b;
+  for (int s = 0; s < num_states; ++s) {
+    b.add_state();
+    const int actions = 1 + static_cast<int>(rng.next_below(max_actions));
+    for (int a = 0; a < actions; ++a) {
+      b.add_action();
+      const int branch = 1 + static_cast<int>(rng.next_below(max_branch));
+      std::vector<double> weights(branch + 1);
+      for (double& w : weights) w = 0.05 + rng.next_double();
+      double total = 0.0;
+      for (double w : weights) total += w;
+      // Last edge always returns to state 0 → unichain under any policy.
+      for (int e = 0; e <= branch; ++e) {
+        const auto target = static_cast<mdp::StateId>(
+            e == branch ? 0 : rng.next_below(num_states));
+        const mdp::RewardCounts counts{
+            static_cast<std::uint16_t>(rng.next_below(3)),
+            static_cast<std::uint16_t>(rng.next_below(3))};
+        b.add_transition(target, weights[e] / total, counts);
+      }
+    }
+  }
+  return b.build(0);
+}
+
+}  // namespace test_helpers

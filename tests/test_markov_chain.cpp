@@ -1,0 +1,133 @@
+// Stationary distributions, reachability and policy validation.
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+#include "mdp/builder.hpp"
+#include "mdp/markov_chain.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+TEST(MarkovChain, ValidatePolicyCatchesErrors) {
+  const mdp::Mdp m = test_helpers::two_action_choice();
+  EXPECT_NO_THROW(mdp::validate_policy(m, {0, 2}));
+  EXPECT_NO_THROW(mdp::validate_policy(m, {1, 2}));
+  EXPECT_THROW(mdp::validate_policy(m, {2, 2}), support::InvalidArgument);
+  EXPECT_THROW(mdp::validate_policy(m, {0}), support::InvalidArgument);
+}
+
+TEST(MarkovChain, ReachabilityAllActions) {
+  // s0 -> s1 (only via action "go"); s2 unreachable.
+  mdp::MdpBuilder b;
+  b.add_state();
+  b.add_action();
+  b.add_transition(0, 1.0);
+  b.add_action();
+  b.add_transition(1, 1.0);
+  b.add_state();
+  b.add_action();
+  b.add_transition(1, 1.0);
+  b.add_state();  // isolated
+  b.add_action();
+  b.add_transition(2, 1.0);
+  const mdp::Mdp m = b.build(0);
+
+  const auto reach = mdp::reachable_states(m, 0);
+  EXPECT_TRUE(reach[0]);
+  EXPECT_TRUE(reach[1]);
+  EXPECT_FALSE(reach[2]);
+}
+
+TEST(MarkovChain, ReachabilityUnderPolicy) {
+  mdp::MdpBuilder b;
+  b.add_state();
+  b.add_action();  // stay
+  b.add_transition(0, 1.0);
+  b.add_action();  // go
+  b.add_transition(1, 1.0);
+  b.add_state();
+  b.add_action();
+  b.add_transition(1, 1.0);
+  const mdp::Mdp m = b.build(0);
+
+  const auto stay = mdp::reachable_states(m, mdp::Policy{0, 2}, 0);
+  EXPECT_TRUE(stay[0]);
+  EXPECT_FALSE(stay[1]);
+  const auto go = mdp::reachable_states(m, mdp::Policy{1, 2}, 0);
+  EXPECT_TRUE(go[1]);
+}
+
+TEST(MarkovChain, StationaryOfCycleIsUniform) {
+  const mdp::Mdp m = test_helpers::two_state_cycle();
+  const auto result = mdp::stationary_distribution(m, {0, 1});
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(result.distribution[0], 0.5, 1e-9);
+  EXPECT_NEAR(result.distribution[1], 0.5, 1e-9);
+}
+
+TEST(MarkovChain, StationaryOfBiasedChain) {
+  // s0 → s1 w.p. 1; s1 → s0 w.p. 0.5, stays w.p. 0.5.
+  // Stationary: μ = (1/3, 2/3).
+  mdp::MdpBuilder b;
+  b.add_state();
+  b.add_action();
+  b.add_transition(1, 1.0);
+  b.add_state();
+  b.add_action();
+  b.add_transition(0, 0.5);
+  b.add_transition(1, 0.5);
+  const mdp::Mdp m = b.build(0);
+  const auto result = mdp::stationary_distribution(m, {0, 1});
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(result.distribution[0], 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(result.distribution[1], 2.0 / 3.0, 1e-9);
+}
+
+TEST(MarkovChain, StationarySumsToOne) {
+  support::Rng rng(123);
+  const mdp::Mdp m = test_helpers::random_unichain(rng, 60, 3, 4);
+  mdp::Policy policy(m.num_states());
+  for (mdp::StateId s = 0; s < m.num_states(); ++s) {
+    policy[s] = m.action_begin(s);
+  }
+  const auto result = mdp::stationary_distribution(m, policy);
+  ASSERT_TRUE(result.converged);
+  double total = 0.0;
+  for (double x : result.distribution) {
+    EXPECT_GE(x, 0.0);
+    total += x;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(MarkovChain, PolicyGainIsStationaryAverage) {
+  const mdp::Mdp m = test_helpers::two_state_cycle();
+  const mdp::Policy policy{0, 1};
+  const auto st = mdp::stationary_distribution(m, policy);
+  const auto rewards = m.beta_rewards(0.0);
+  const double gain = mdp::policy_gain(m, policy, rewards, st.distribution);
+  EXPECT_NEAR(gain, 0.5, 1e-9);
+}
+
+TEST(MarkovChain, StationaryIgnoresTransientStates) {
+  // s0 → s1; s1 ↔ s2 cycle. s0 is transient: stationary mass 0.
+  mdp::MdpBuilder b;
+  b.add_state();
+  b.add_action();
+  b.add_transition(1, 1.0);
+  b.add_state();
+  b.add_action();
+  b.add_transition(2, 1.0);
+  b.add_state();
+  b.add_action();
+  b.add_transition(1, 1.0);
+  const mdp::Mdp m = b.build(0);
+  const auto result = mdp::stationary_distribution(m, {0, 1, 2});
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(result.distribution[0], 0.0, 1e-9);
+  EXPECT_NEAR(result.distribution[1], 0.5, 1e-9);
+  EXPECT_NEAR(result.distribution[2], 0.5, 1e-9);
+}
+
+}  // namespace

@@ -1,0 +1,93 @@
+// Howard policy iteration and fixed-policy evaluation.
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+#include "mdp/policy_evaluation.hpp"
+#include "mdp/policy_iteration.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+TEST(PolicyEvaluation, FixedPolicyGainMatchesClosedForm) {
+  const mdp::Mdp m = test_helpers::two_action_choice();
+  // Policy "stay": gain = 1 − 2β; policy "go": gain = 1 − β.
+  const mdp::Policy stay{0, 2};
+  const mdp::Policy go{1, 2};
+  const double beta = 0.3;
+  const auto eval_stay =
+      mdp::evaluate_policy_gain(m, stay, m.beta_rewards(beta));
+  const auto eval_go = mdp::evaluate_policy_gain(m, go, m.beta_rewards(beta));
+  ASSERT_TRUE(eval_stay.converged);
+  ASSERT_TRUE(eval_go.converged);
+  EXPECT_NEAR(eval_stay.gain, 1.0 - 2 * beta, 1e-6);
+  EXPECT_NEAR(eval_go.gain, 1.0 - beta, 1e-6);
+}
+
+TEST(PolicyEvaluation, CounterRatesMatchStructure) {
+  const mdp::Mdp m = test_helpers::two_state_cycle();
+  const mdp::Policy policy{0, 1};
+  const auto rates = mdp::evaluate_policy_counters(m, policy);
+  // One adversary and one honest finalization per 2-step period.
+  EXPECT_NEAR(rates.adversary, 0.5, 1e-9);
+  EXPECT_NEAR(rates.honest, 0.5, 1e-9);
+  EXPECT_NEAR(rates.ratio(), 0.5, 1e-9);
+}
+
+TEST(PolicyIteration, FindsOptimalActionInChoice) {
+  const mdp::Mdp m = test_helpers::two_action_choice();
+  const auto result = mdp::policy_iteration(m, m.beta_rewards(0.4));
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(result.gain, 0.6, 1e-6);
+  EXPECT_EQ(m.action_label(result.policy[0]), 1u);
+  EXPECT_LE(result.rounds, 3);
+}
+
+TEST(PolicyIteration, AgreesWithValueIterationOnRandomModels) {
+  support::Rng rng(4242);
+  for (int trial = 0; trial < 10; ++trial) {
+    const mdp::Mdp m = test_helpers::random_unichain(rng, 40, 3, 4);
+    const auto rewards = m.beta_rewards(0.35);
+    const auto vi = mdp::value_iteration(m, rewards);
+    const auto pi = mdp::policy_iteration(m, rewards);
+    ASSERT_TRUE(vi.converged);
+    ASSERT_TRUE(pi.converged);
+    EXPECT_NEAR(vi.gain, pi.gain, 1e-5) << "trial " << trial;
+  }
+}
+
+TEST(PolicyIteration, HonorsInitialPolicy) {
+  const mdp::Mdp m = test_helpers::two_action_choice();
+  const mdp::Policy start{1, 2};  // already optimal for β > 0
+  const auto result =
+      mdp::policy_iteration(m, m.beta_rewards(0.4), {}, &start);
+  ASSERT_TRUE(result.converged);
+  EXPECT_EQ(result.rounds, 1);  // no improvement round needed
+  EXPECT_EQ(result.policy, start);
+}
+
+TEST(PolicyIteration, RejectsForeignInitialPolicy) {
+  const mdp::Mdp m = test_helpers::two_action_choice();
+  const mdp::Policy bogus{2, 2};  // action 2 belongs to state 1
+  EXPECT_THROW(mdp::policy_iteration(m, m.beta_rewards(0.4), {}, &bogus),
+               support::InvalidArgument);
+}
+
+TEST(PolicyEvaluation, WarmStartAccepted) {
+  support::Rng rng(5);
+  const mdp::Mdp m = test_helpers::random_unichain(rng, 30, 2, 3);
+  mdp::Policy policy(m.num_states());
+  for (mdp::StateId s = 0; s < m.num_states(); ++s) {
+    policy[s] = m.action_begin(s);
+  }
+  const auto rewards = m.beta_rewards(0.2);
+  const auto cold = mdp::evaluate_policy_gain(m, policy, rewards);
+  ASSERT_TRUE(cold.converged);
+  const auto warm =
+      mdp::evaluate_policy_gain(m, policy, rewards, {}, &cold.bias);
+  ASSERT_TRUE(warm.converged);
+  EXPECT_NEAR(warm.gain, cold.gain, 1e-6);
+  EXPECT_LE(warm.iterations, cold.iterations);
+}
+
+}  // namespace

@@ -1,0 +1,116 @@
+// Policy statistics: structure of optimal and degenerate strategies.
+#include <gtest/gtest.h>
+
+#include "analysis/algorithm1.hpp"
+#include "analysis/policy_stats.hpp"
+#include "baselines/honest.hpp"
+#include "support/check.hpp"
+
+namespace {
+
+selfish::SelfishModel model_21(double gamma = 0.5) {
+  return selfish::build_model(
+      selfish::AttackParams{.p = 0.3, .gamma = gamma, .d = 2, .f = 1, .l = 4});
+}
+
+mdp::Policy always_mine(const selfish::SelfishModel& model) {
+  mdp::Policy policy(model.mdp.num_states());
+  for (mdp::StateId s = 0; s < model.mdp.num_states(); ++s) {
+    policy[s] = model.mdp.action_begin(s);
+  }
+  return policy;
+}
+
+TEST(PolicyStats, AlwaysMineNeverReleases) {
+  const auto model = model_21();
+  const auto stats =
+      analysis::compute_policy_stats(model, always_mine(model));
+  EXPECT_DOUBLE_EQ(stats.release_rate_after_adversary_block, 0.0);
+  EXPECT_DOUBLE_EQ(stats.release_rate_after_honest_block, 0.0);
+  EXPECT_TRUE(stats.releases.empty());
+  EXPECT_DOUBLE_EQ(stats.race_rate, 0.0);
+  EXPECT_DOUBLE_EQ(stats.override_rate, 0.0);
+  // Forks accumulate: the chain spends its time near the cap.
+  EXPECT_GT(stats.mean_withheld_blocks, 1.0);
+}
+
+TEST(PolicyStats, ReleaseImmediatelyHasNoWithholdingInD1) {
+  const auto model = selfish::build_model(
+      selfish::AttackParams{.p = 0.3, .gamma = 0.5, .d = 1, .f = 1, .l = 4});
+  const auto policy = baselines::release_immediately_policy(model);
+  const auto stats = analysis::compute_policy_stats(model, policy);
+  EXPECT_DOUBLE_EQ(stats.release_rate_after_adversary_block, 1.0);
+  // Everything is published on arrival: at most the one fresh block is
+  // ever private, and the strategy never races.
+  EXPECT_LT(stats.mean_withheld_blocks, 0.5);
+  EXPECT_DOUBLE_EQ(stats.race_rate, 0.0);
+  ASSERT_FALSE(stats.releases.empty());
+  EXPECT_EQ(stats.releases[0].depth, 1);
+  EXPECT_EQ(stats.releases[0].length, 1);
+}
+
+TEST(PolicyStats, OptimalStrategyWithholdsAndRaces) {
+  const auto model = model_21(0.5);
+  analysis::AnalysisOptions options;
+  options.epsilon = 1e-4;
+  const auto result = analysis::analyze(model, options);
+  const auto stats = analysis::compute_policy_stats(model, result.policy);
+  // The optimal attack is not release-immediately (it withholds) and it
+  // does race pending honest blocks.
+  EXPECT_LT(stats.release_rate_after_adversary_block, 1.0);
+  EXPECT_GT(stats.race_rate + stats.override_rate, 0.0);
+  EXPECT_GT(stats.mean_withheld_blocks, 0.1);
+  EXPECT_FALSE(stats.releases.empty());
+}
+
+TEST(PolicyStats, RaceFlagRequiresPendingTie) {
+  const auto model = model_21(0.5);
+  analysis::AnalysisOptions options;
+  options.epsilon = 1e-4;
+  const auto result = analysis::analyze(model, options);
+  const auto stats = analysis::compute_policy_stats(model, result.policy);
+  for (const auto& release : stats.releases) {
+    if (release.race) {
+      EXPECT_EQ(release.length, release.depth);
+    }
+    EXPECT_GT(release.frequency, 0.0);
+    EXPECT_GE(release.length, release.depth);
+  }
+}
+
+TEST(PolicyStats, ToStringMentionsKeyNumbers) {
+  const auto model = model_21();
+  const auto stats =
+      analysis::compute_policy_stats(model, always_mine(model));
+  const std::string text = stats.to_string();
+  EXPECT_NE(text.find("release rate"), std::string::npos);
+  EXPECT_NE(text.find("withheld"), std::string::npos);
+}
+
+TEST(PolicyStats, RejectsForeignPolicy) {
+  const auto model = model_21();
+  mdp::Policy bogus(model.mdp.num_states(), 0);
+  EXPECT_THROW(analysis::compute_policy_stats(model, bogus),
+               support::InvalidArgument);
+}
+
+}  // namespace
+
+namespace cutoff_tests {
+
+TEST(PolicyStats, CutoffDropsRareStates) {
+  const auto model = selfish::build_model(
+      selfish::AttackParams{.p = 0.3, .gamma = 0.5, .d = 2, .f = 1, .l = 4});
+  analysis::AnalysisOptions options;
+  options.epsilon = 1e-4;
+  const auto result = analysis::analyze(model, options);
+  const auto fine = analysis::compute_policy_stats(model, result.policy,
+                                                   /*cutoff=*/1e-12);
+  const auto coarse = analysis::compute_policy_stats(model, result.policy,
+                                                     /*cutoff=*/0.05);
+  // A brutal cutoff can only remove contribution mass.
+  EXPECT_LE(coarse.mean_withheld_blocks, fine.mean_withheld_blocks + 1e-12);
+  EXPECT_LE(coarse.releases.size(), fine.releases.size());
+}
+
+}  // namespace cutoff_tests

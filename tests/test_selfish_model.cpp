@@ -1,0 +1,133 @@
+// Model-level invariants of the built selfish-mining MDP, plus the
+// closed-form checks against honest mining.
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+#include "analysis/errev.hpp"
+#include "baselines/honest.hpp"
+#include "mdp/markov_chain.hpp"
+#include "selfish/build.hpp"
+
+namespace {
+
+TEST(SelfishModel, InitialStateIsZero) {
+  const selfish::AttackParams params{.p = 0.3, .gamma = 0.5, .d = 2, .f = 1, .l = 4};
+  const auto model = selfish::build_model(params);
+  EXPECT_EQ(model.mdp.initial_state(), 0u);
+  EXPECT_EQ(model.space.state_of(0), selfish::State::initial(params));
+}
+
+TEST(SelfishModel, AllStatesReachableFromInitial) {
+  const selfish::AttackParams params{.p = 0.3, .gamma = 0.5, .d = 2, .f = 2, .l = 4};
+  const auto model = selfish::build_model(params);
+  const auto reach = mdp::reachable_states(model.mdp, 0);
+  for (mdp::StateId s = 0; s < model.mdp.num_states(); ++s) {
+    EXPECT_TRUE(reach[s]) << "state " << s << " enumerated but unreachable";
+  }
+}
+
+TEST(SelfishModel, InitialStateReachableFromEverywhereUnderAnyPolicy) {
+  // The unichain property the analysis relies on (paper Appendix C):
+  // under the always-mine policy AND under a release-greedy policy the
+  // reset state must stay reachable from every state.
+  const selfish::AttackParams params{.p = 0.3, .gamma = 0.5, .d = 2, .f = 1, .l = 3};
+  const auto model = selfish::build_model(params);
+  const auto& m = model.mdp;
+
+  mdp::Policy always_mine(m.num_states());
+  mdp::Policy release_greedy(m.num_states());
+  for (mdp::StateId s = 0; s < m.num_states(); ++s) {
+    always_mine[s] = m.action_begin(s);
+    release_greedy[s] = m.action_end(s) - 1;  // deepest/longest release
+  }
+  for (const auto& policy : {always_mine, release_greedy}) {
+    for (mdp::StateId s = 0; s < m.num_states(); ++s) {
+      const auto reach = mdp::reachable_states(m, policy, s);
+      EXPECT_TRUE(reach[0]) << "no reset from state " << s;
+    }
+  }
+}
+
+TEST(SelfishModel, ActionLabelsDecodeToAvailableActions) {
+  const selfish::AttackParams params{.p = 0.3, .gamma = 0.5, .d = 2, .f = 2, .l = 3};
+  const auto model = selfish::build_model(params);
+  for (mdp::StateId s = 0; s < model.mdp.num_states(); ++s) {
+    const auto state = model.space.state_of(s);
+    const auto expected = selfish::available_actions(state, params);
+    ASSERT_EQ(model.mdp.num_actions_of(s), expected.size());
+    std::size_t idx = 0;
+    for (mdp::ActionId a = model.mdp.action_begin(s);
+         a < model.mdp.action_end(s); ++a, ++idx) {
+      EXPECT_EQ(model.action_of(a), expected[idx]);
+    }
+  }
+}
+
+TEST(SelfishModel, HonestEquivalentPolicyEarnsExactlyP) {
+  // In the d=f=1 model, releasing every block immediately reproduces
+  // honest mining: ERRev = p. This pins the reward/transition accounting
+  // to the closed form.
+  for (const double p : {0.05, 0.1, 0.2, 0.3, 0.4}) {
+    const selfish::AttackParams params{.p = p, .gamma = 0.5, .d = 1, .f = 1, .l = 4};
+    const auto model = selfish::build_model(params);
+    const auto policy = baselines::release_immediately_policy(model);
+    EXPECT_NEAR(analysis::exact_errev(model, policy), p, 1e-9) << "p=" << p;
+  }
+}
+
+TEST(SelfishModel, HonestBaselineClosedForm) {
+  EXPECT_DOUBLE_EQ(baselines::honest_errev(0.25), 0.25);
+  EXPECT_THROW(baselines::honest_errev(1.5), support::InvalidArgument);
+}
+
+TEST(SelfishModel, NeverReleasingEarnsZero) {
+  // Pure withholding finalizes no adversary blocks: every fork dies at the
+  // window edge, so the adversary's stationary finalization rate is 0.
+  const selfish::AttackParams params{.p = 0.3, .gamma = 0.5, .d = 2, .f = 2, .l = 4};
+  const auto model = selfish::build_model(params);
+  mdp::Policy always_mine(model.mdp.num_states());
+  for (mdp::StateId s = 0; s < model.mdp.num_states(); ++s) {
+    always_mine[s] = model.mdp.action_begin(s);
+  }
+  const auto rates = analysis::counter_rates(model, always_mine);
+  EXPECT_NEAR(rates.adversary, 0.0, 1e-10);
+  EXPECT_GT(rates.honest, 0.0);
+}
+
+TEST(SelfishModel, TotalFinalizationRateBoundedBelow) {
+  // Paper Appendix C: the total finalization rate is at least
+  // δ = (1−p)/(1−p+p·d·f) per *block event* under any strategy. Our MDP
+  // interleaves each block event with one decision step, so the bound per
+  // MDP step is δ/2.
+  const selfish::AttackParams params{.p = 0.3, .gamma = 0.5, .d = 2, .f = 2, .l = 3};
+  const auto model = selfish::build_model(params);
+  const double delta =
+      0.5 * (1 - params.p) / (1 - params.p + params.p * params.d * params.f);
+  mdp::Policy always_mine(model.mdp.num_states());
+  mdp::Policy last_action(model.mdp.num_states());
+  for (mdp::StateId s = 0; s < model.mdp.num_states(); ++s) {
+    always_mine[s] = model.mdp.action_begin(s);
+    last_action[s] = model.mdp.action_end(s) - 1;
+  }
+  for (const auto& policy : {always_mine, last_action}) {
+    const auto rates = analysis::counter_rates(model, policy);
+    EXPECT_GE(rates.adversary + rates.honest, delta - 1e-9);
+  }
+}
+
+TEST(SelfishModel, ZeroResourceAdversaryEarnsNothing) {
+  const selfish::AttackParams params{.p = 0.0, .gamma = 0.5, .d = 2, .f = 1, .l = 4};
+  const auto model = selfish::build_model(params);
+  mdp::Policy policy(model.mdp.num_states());
+  for (mdp::StateId s = 0; s < model.mdp.num_states(); ++s) {
+    policy[s] = model.mdp.action_begin(s);
+  }
+  const auto rates = analysis::counter_rates(model, policy);
+  EXPECT_DOUBLE_EQ(rates.adversary, 0.0);
+  // With p = 0 every mining step is won by honest miners and every decision
+  // step incorporates the block: one finalization per two MDP steps.
+  EXPECT_NEAR(rates.honest, 0.5, 1e-9);
+}
+
+}  // namespace

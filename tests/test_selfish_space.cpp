@@ -1,0 +1,94 @@
+// State-space enumeration: sizes, canonical reduction, id stability.
+#include <gtest/gtest.h>
+
+#include "selfish/build.hpp"
+#include "selfish/space.hpp"
+#include "support/check.hpp"
+
+namespace {
+
+TEST(StateSpace, InternAssignsSequentialIds) {
+  const selfish::AttackParams params{.p = 0.3, .gamma = 0.5, .d = 2, .f = 1, .l = 4};
+  selfish::StateSpace space(params);
+  const auto init = selfish::State::initial(params);
+  EXPECT_EQ(space.intern(init), 0u);
+  EXPECT_EQ(space.intern(init), 0u);  // idempotent
+  selfish::State other = init;
+  other.c[0][0] = 1;
+  EXPECT_EQ(space.intern(other), 1u);
+  EXPECT_EQ(space.size(), 2u);
+  EXPECT_TRUE(space.contains(init));
+  EXPECT_EQ(space.id_of(other), 1u);
+  EXPECT_EQ(space.state_of(1), other);
+}
+
+TEST(StateSpace, UnknownStateThrows) {
+  const selfish::AttackParams params{.p = 0.3, .gamma = 0.5, .d = 2, .f = 1, .l = 4};
+  selfish::StateSpace space(params);
+  selfish::State s;
+  s.c[0][0] = 2;
+  EXPECT_FALSE(space.contains(s));
+  EXPECT_THROW(space.id_of(s), support::InvalidArgument);
+  EXPECT_THROW(space.state_of(0), support::InvalidArgument);
+}
+
+TEST(StateSpace, NonCanonicalInternRejected) {
+  const selfish::AttackParams params{.p = 0.3, .gamma = 0.5, .d = 2, .f = 2, .l = 4};
+  selfish::StateSpace space(params);
+  selfish::State s;
+  s.c[0][0] = 1;
+  s.c[0][1] = 3;
+  EXPECT_THROW(space.intern(s), support::InvalidArgument);
+}
+
+TEST(RawStateCount, MatchesPaperFormula) {
+  // (l+1)^(d·f) · 2^(d−1) · 3
+  const selfish::AttackParams p1{.p = 0.3, .gamma = 0.5, .d = 1, .f = 1, .l = 4};
+  EXPECT_EQ(selfish::raw_state_count(p1), 5ull * 3ull);
+  const selfish::AttackParams p2{.p = 0.3, .gamma = 0.5, .d = 2, .f = 2, .l = 4};
+  EXPECT_EQ(selfish::raw_state_count(p2), 625ull * 2ull * 3ull);
+  const selfish::AttackParams p3{.p = 0.3, .gamma = 0.5, .d = 4, .f = 2, .l = 4};
+  EXPECT_EQ(selfish::raw_state_count(p3),
+            390625ull * 8ull * 3ull);
+}
+
+TEST(ReachableSpace, SmallerThanRawSpace) {
+  for (const auto& params :
+       {selfish::AttackParams{.p = 0.3, .gamma = 0.5, .d = 2, .f = 2, .l = 4},
+        selfish::AttackParams{.p = 0.3, .gamma = 0.5, .d = 3, .f = 2, .l = 3}}) {
+    const auto model = selfish::build_model(params);
+    EXPECT_LT(model.mdp.num_states(), selfish::raw_state_count(params))
+        << params.to_string();
+  }
+}
+
+TEST(ReachableSpace, SizeIndependentOfProbabilityParameters) {
+  // p and γ only change transition probabilities (0 < p < 1, so every
+  // structural branch keeps positive probability) — the reachable space
+  // must not change.
+  selfish::AttackParams a{.p = 0.1, .gamma = 0.25, .d = 2, .f = 2, .l = 4};
+  selfish::AttackParams b{.p = 0.45, .gamma = 0.75, .d = 2, .f = 2, .l = 4};
+  EXPECT_EQ(selfish::build_model(a).mdp.num_states(),
+            selfish::build_model(b).mdp.num_states());
+}
+
+TEST(ReachableSpace, GrowsWithParameters) {
+  const auto size = [](int d, int f, int l) {
+    const selfish::AttackParams params{
+        .p = 0.3, .gamma = 0.5, .d = d, .f = f, .l = l};
+    return selfish::build_model(params).mdp.num_states();
+  };
+  EXPECT_LT(size(1, 1, 4), size(2, 1, 4));
+  EXPECT_LT(size(2, 1, 4), size(2, 2, 4));
+  EXPECT_LT(size(2, 2, 3), size(2, 2, 4));
+  EXPECT_LT(size(2, 2, 4), size(3, 2, 4));
+}
+
+TEST(ReachableSpace, KnownSmallCounts) {
+  // d=f=1, l=4: C ∈ {0..4} × type, minus unreachable combinations.
+  // Regression-pinned values (stability of the enumeration).
+  const selfish::AttackParams p11{.p = 0.3, .gamma = 0.5, .d = 1, .f = 1, .l = 4};
+  EXPECT_EQ(selfish::build_model(p11).mdp.num_states(), 14u);
+}
+
+}  // namespace

@@ -1,0 +1,118 @@
+// Monte-Carlo simulator: closed-form checks and MDP cross-validation.
+//
+// The simulator implements the protocol against concrete blocks and counts
+// revenue from the final chain, so agreement with the MDP's stationary
+// analysis validates both the transition semantics and the reward design.
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+#include "analysis/algorithm1.hpp"
+#include "analysis/errev.hpp"
+#include "selfish/build.hpp"
+#include "sim/simulator.hpp"
+#include "sim/strategies.hpp"
+
+namespace {
+
+sim::SimulationOptions fast_options(std::uint64_t steps = 300'000,
+                                    std::uint64_t seed = 1234) {
+  sim::SimulationOptions options;
+  options.steps = steps;
+  options.warmup_steps = steps / 20;
+  options.seed = seed;
+  return options;
+}
+
+TEST(Simulator, HonestEquivalentEarnsP) {
+  const selfish::AttackParams params{.p = 0.3, .gamma = 0.5, .d = 1, .f = 1, .l = 4};
+  sim::ReleaseImmediatelyStrategy strategy;
+  const auto result = sim::simulate(params, strategy, fast_options());
+  EXPECT_NEAR(result.errev, 0.3, 0.01);
+  EXPECT_EQ(result.races_won + result.races_lost, 0u);
+}
+
+TEST(Simulator, NeverReleasingEarnsZero) {
+  const selfish::AttackParams params{.p = 0.3, .gamma = 0.5, .d = 2, .f = 2, .l = 4};
+  sim::NeverReleaseStrategy strategy;
+  const auto result = sim::simulate(params, strategy, fast_options(100'000));
+  EXPECT_EQ(result.revenue.adversary, 0u);
+  EXPECT_GT(result.revenue.honest, 0u);
+  EXPECT_DOUBLE_EQ(result.errev, 0.0);
+}
+
+TEST(Simulator, ZeroResourceNeverMines) {
+  const selfish::AttackParams params{.p = 0.0, .gamma = 0.5, .d = 2, .f = 1, .l = 4};
+  sim::NeverReleaseStrategy strategy;
+  const auto result = sim::simulate(params, strategy, fast_options(50'000));
+  EXPECT_EQ(result.adversary_blocks_mined, 0u);
+  EXPECT_DOUBLE_EQ(result.errev, 0.0);
+}
+
+TEST(Simulator, DeterministicUnderSeed) {
+  const selfish::AttackParams params{.p = 0.25, .gamma = 0.5, .d = 2, .f = 1, .l = 4};
+  sim::ReleaseImmediatelyStrategy a, b;
+  const auto r1 = sim::simulate(params, a, fast_options(50'000, 7));
+  const auto r2 = sim::simulate(params, b, fast_options(50'000, 7));
+  EXPECT_EQ(r1.revenue.adversary, r2.revenue.adversary);
+  EXPECT_EQ(r1.revenue.honest, r2.revenue.honest);
+  EXPECT_EQ(r1.releases, r2.releases);
+}
+
+TEST(Simulator, CountersAreConsistent) {
+  const selfish::AttackParams params{.p = 0.3, .gamma = 0.5, .d = 2, .f = 1, .l = 4};
+  sim::ReleaseImmediatelyStrategy strategy;
+  const auto result = sim::simulate(params, strategy, fast_options(100'000));
+  EXPECT_EQ(result.adversary_blocks_mined + result.honest_blocks_mined,
+            100'000u);
+  EXPECT_LE(result.races_won + result.races_lost + result.overrides,
+            result.releases);
+}
+
+TEST(Simulator, RejectsBadOptions) {
+  const selfish::AttackParams params{.p = 0.3, .gamma = 0.5, .d = 2, .f = 1, .l = 4};
+  sim::NeverReleaseStrategy strategy;
+  sim::SimulationOptions options;
+  options.steps = 10;
+  options.warmup_steps = 10;
+  EXPECT_THROW(sim::simulate(params, strategy, options),
+               support::InvalidArgument);
+}
+
+// Cross-validation: the empirical ERRev of the optimal MDP policy must
+// match the stationary prediction. This is the strongest end-to-end test
+// in the suite: it exercises model semantics, solver, policy decoding and
+// simulator in one chain.
+class SimulatorCrossValidation
+    : public ::testing::TestWithParam<selfish::AttackParams> {};
+
+TEST_P(SimulatorCrossValidation, EmpiricalMatchesStationary) {
+  const selfish::AttackParams params = GetParam();
+  const auto model = selfish::build_model(params);
+  analysis::AnalysisOptions options;
+  options.epsilon = 1e-4;
+  const auto result = analysis::analyze(model, options);
+
+  sim::MdpPolicyStrategy strategy(model, result.policy);
+  const auto simulated =
+      sim::simulate(params, strategy, fast_options(600'000, 99));
+  EXPECT_NEAR(simulated.errev, result.errev_of_policy, 0.01)
+      << params.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, SimulatorCrossValidation,
+    ::testing::Values(
+        selfish::AttackParams{.p = 0.3, .gamma = 0.5, .d = 1, .f = 1, .l = 4},
+        selfish::AttackParams{.p = 0.3, .gamma = 1.0, .d = 1, .f = 1, .l = 4},
+        selfish::AttackParams{.p = 0.3, .gamma = 0.5, .d = 2, .f = 1, .l = 4},
+        selfish::AttackParams{.p = 0.2, .gamma = 0.0, .d = 2, .f = 2, .l = 4},
+        selfish::AttackParams{.p = 0.35, .gamma = 0.75, .d = 2, .f = 2, .l = 3},
+        selfish::AttackParams{.p = 0.3, .gamma = 0.5, .d = 3, .f = 1, .l = 3}),
+    [](const ::testing::TestParamInfo<selfish::AttackParams>& info) {
+      const auto& p = info.param;
+      return "d" + std::to_string(p.d) + "f" + std::to_string(p.f) + "i" +
+             std::to_string(info.index);
+    });
+
+}  // namespace

@@ -1,0 +1,108 @@
+// Single-tree selfish-mining baseline: closed forms and monotonicity.
+#include <gtest/gtest.h>
+
+#include "baselines/single_tree.hpp"
+#include "support/check.hpp"
+
+namespace {
+
+using baselines::SingleTreeParams;
+using baselines::analyze_single_tree;
+
+TEST(SingleTree, ZeroResourceEarnsNothing) {
+  const SingleTreeParams params{.p = 0.0, .gamma = 0.5};
+  const auto result = analyze_single_tree(params);
+  EXPECT_DOUBLE_EQ(result.errev, 0.0);
+  EXPECT_DOUBLE_EQ(result.expected_adversary, 0.0);
+  EXPECT_NEAR(result.expected_honest, 1.0, 1e-12);
+}
+
+TEST(SingleTree, DepthOneClosedForm) {
+  // max_depth = max_width = 1: the adversary mines one private block on the
+  // fork point. Round outcomes from the empty tree:
+  //   honest first (prob 1−p): H += 1.             [absorb]
+  //   adversary first (prob p): tree depth 1; next block is honest w.p. 1
+  //   (σ = 0 targets left), giving the γ race: A=1 w.p. γ, H=1 w.p. 1−γ.
+  // E[A] = p·γ, E[H] = (1−p) + p(1−γ).
+  const double p = 0.3, gamma = 0.25;
+  const SingleTreeParams params{.p = p, .gamma = gamma, .max_depth = 1,
+                                .max_width = 1};
+  const auto result = analyze_single_tree(params);
+  const double ea = p * gamma;
+  const double eh = (1 - p) + p * (1 - gamma);
+  EXPECT_NEAR(result.expected_adversary, ea, 1e-12);
+  EXPECT_NEAR(result.expected_honest, eh, 1e-12);
+  EXPECT_NEAR(result.errev, ea / (ea + eh), 1e-12);
+}
+
+TEST(SingleTree, GammaZeroDepthOneIsWorseThanHonest) {
+  // With γ = 0 the withheld block is always lost: ERRev < p.
+  const SingleTreeParams params{.p = 0.3, .gamma = 0.0, .max_depth = 1,
+                                .max_width = 1};
+  EXPECT_LT(analyze_single_tree(params).errev, 0.3);
+}
+
+TEST(SingleTree, MonotoneInResource) {
+  double previous = -1.0;
+  for (double p = 0.0; p <= 0.45; p += 0.05) {
+    const SingleTreeParams params{.p = p, .gamma = 0.5};
+    const double errev = analyze_single_tree(params).errev;
+    EXPECT_GE(errev, previous - 1e-12) << "p=" << p;
+    previous = errev;
+  }
+}
+
+TEST(SingleTree, MonotoneInGamma) {
+  double previous = -1.0;
+  for (double gamma = 0.0; gamma <= 1.0; gamma += 0.25) {
+    const SingleTreeParams params{.p = 0.3, .gamma = gamma};
+    const double errev = analyze_single_tree(params).errev;
+    EXPECT_GE(errev, previous - 1e-12) << "gamma=" << gamma;
+    previous = errev;
+  }
+}
+
+TEST(SingleTree, WiderAndDeeperTreesHelp) {
+  const SingleTreeParams narrow{.p = 0.3, .gamma = 0.5, .max_depth = 4,
+                                .max_width = 1};
+  const SingleTreeParams wide{.p = 0.3, .gamma = 0.5, .max_depth = 4,
+                              .max_width = 5};
+  const SingleTreeParams shallow{.p = 0.3, .gamma = 0.5, .max_depth = 2,
+                                 .max_width = 5};
+  const double narrow_errev = analyze_single_tree(narrow).errev;
+  const double wide_errev = analyze_single_tree(wide).errev;
+  const double shallow_errev = analyze_single_tree(shallow).errev;
+  EXPECT_GT(wide_errev, narrow_errev);
+  EXPECT_GE(wide_errev, shallow_errev - 1e-12);
+}
+
+TEST(SingleTree, BoundedByOne) {
+  const SingleTreeParams params{.p = 0.45, .gamma = 1.0};
+  const auto result = analyze_single_tree(params);
+  EXPECT_GT(result.errev, 0.0);
+  EXPECT_LT(result.errev, 1.0);
+}
+
+TEST(SingleTree, StateCountIsModest) {
+  const SingleTreeParams params{.p = 0.3, .gamma = 0.5};
+  const auto result = analyze_single_tree(params);
+  EXPECT_GT(result.states_evaluated, 10u);
+  EXPECT_LT(result.states_evaluated, 10000u);
+}
+
+TEST(SingleTree, ValidatesParameters) {
+  SingleTreeParams params;
+  params.p = 1.0;
+  EXPECT_THROW(analyze_single_tree(params), support::InvalidArgument);
+  params.p = 0.3;
+  params.gamma = 2.0;
+  EXPECT_THROW(analyze_single_tree(params), support::InvalidArgument);
+  params.gamma = 0.5;
+  params.max_depth = 0;
+  EXPECT_THROW(analyze_single_tree(params), support::InvalidArgument);
+  params.max_depth = 4;
+  params.max_width = 0;
+  EXPECT_THROW(analyze_single_tree(params), support::InvalidArgument);
+}
+
+}  // namespace

@@ -1,0 +1,98 @@
+// Strategy serialization: round trips, validation, corruption handling.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/algorithm1.hpp"
+#include "analysis/errev.hpp"
+#include "analysis/strategy_io.hpp"
+#include "support/check.hpp"
+
+namespace {
+
+selfish::SelfishModel make_model(double p = 0.3, double gamma = 0.5) {
+  return selfish::build_model(
+      selfish::AttackParams{.p = p, .gamma = gamma, .d = 2, .f = 1, .l = 4});
+}
+
+mdp::Policy optimal_policy(const selfish::SelfishModel& model) {
+  analysis::AnalysisOptions options;
+  options.epsilon = 1e-4;
+  return analysis::analyze(model, options).policy;
+}
+
+TEST(StrategyIo, RoundTripPreservesPolicyBehavior) {
+  const auto model = make_model();
+  const auto policy = optimal_policy(model);
+  const std::string text = analysis::strategy_to_string(model, policy);
+  const auto loaded = analysis::strategy_from_string(model, text);
+  // Decision states must match exactly; mining states are forced anyway.
+  for (mdp::StateId s = 0; s < model.mdp.num_states(); ++s) {
+    if (model.space.state_of(s).type != selfish::StepType::kMining) {
+      EXPECT_EQ(loaded[s], policy[s]) << "state " << s;
+    }
+  }
+  EXPECT_NEAR(analysis::exact_errev(model, loaded),
+              analysis::exact_errev(model, policy), 1e-12);
+}
+
+TEST(StrategyIo, HeaderMentionsParameters) {
+  const auto model = make_model();
+  const auto text = analysis::strategy_to_string(model, optimal_policy(model));
+  EXPECT_NE(text.find("selfish-mining-strategy v1"), std::string::npos);
+  EXPECT_NE(text.find("d=2"), std::string::npos);
+  EXPECT_NE(text.find("f=1"), std::string::npos);
+}
+
+TEST(StrategyIo, RejectsWrongModelParameters) {
+  const auto model = make_model(0.3, 0.5);
+  const auto text = analysis::strategy_to_string(model, optimal_policy(model));
+  const auto other = make_model(0.25, 0.5);
+  EXPECT_THROW(analysis::strategy_from_string(other, text),
+               support::InvalidArgument);
+}
+
+TEST(StrategyIo, RejectsBadMagic) {
+  const auto model = make_model();
+  EXPECT_THROW(analysis::strategy_from_string(model, "garbage\n"),
+               support::InvalidArgument);
+}
+
+TEST(StrategyIo, RejectsTruncatedFile) {
+  const auto model = make_model();
+  auto text = analysis::strategy_to_string(model, optimal_policy(model));
+  text.resize(text.size() / 2);
+  // Either an entry count mismatch or a parse failure — both must throw.
+  EXPECT_THROW(analysis::strategy_from_string(model, text), support::Error);
+}
+
+TEST(StrategyIo, RejectsForeignAction) {
+  const auto model = make_model();
+  auto text = analysis::strategy_to_string(model, optimal_policy(model));
+  // Corrupt one entry's action label to an impossible release.
+  const auto pos = text.rfind(' ');
+  text = text.substr(0, pos + 1) + "4278124286\n";  // release(254,254,254)
+  EXPECT_THROW(analysis::strategy_from_string(model, text), support::Error);
+}
+
+TEST(StrategyIo, SavedStrategyOmitsMiningStates) {
+  const auto model = make_model();
+  const auto text = analysis::strategy_to_string(model, optimal_policy(model));
+  std::istringstream is(text);
+  std::string line;
+  std::getline(is, line);  // magic
+  std::getline(is, line);  // params
+  std::getline(is, line);  // states N
+  std::size_t advertised = 0;
+  ASSERT_EQ(std::sscanf(line.c_str(), "states %zu", &advertised), 1);
+  std::size_t decision = 0;
+  for (mdp::StateId s = 0; s < model.mdp.num_states(); ++s) {
+    if (model.space.state_of(s).type != selfish::StepType::kMining) {
+      ++decision;
+    }
+  }
+  EXPECT_EQ(advertised, decision);
+  EXPECT_LT(decision, model.mdp.num_states());
+}
+
+}  // namespace

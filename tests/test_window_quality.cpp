@@ -1,0 +1,98 @@
+// (μ, ℓ)-chain quality over owner sequences (paper §2.2).
+#include <gtest/gtest.h>
+
+#include "chain/stats.hpp"
+#include "sim/strategies.hpp"
+#include "analysis/algorithm1.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using chain::Owner;
+
+std::vector<Owner> seq(std::initializer_list<int> adversary_flags) {
+  std::vector<Owner> owners;
+  for (const int flag : adversary_flags) {
+    owners.push_back(flag ? Owner::kAdversary : Owner::kHonest);
+  }
+  return owners;
+}
+
+TEST(WindowQuality, AllHonestIsPerfect) {
+  const auto quality = chain::window_quality(seq({0, 0, 0, 0, 0}), 2);
+  EXPECT_DOUBLE_EQ(quality.worst, 1.0);
+  EXPECT_DOUBLE_EQ(quality.average, 1.0);
+  EXPECT_EQ(quality.windows, 4u);
+}
+
+TEST(WindowQuality, AllAdversarialIsZero) {
+  const auto quality = chain::window_quality(seq({1, 1, 1}), 3);
+  EXPECT_DOUBLE_EQ(quality.worst, 0.0);
+  EXPECT_EQ(quality.windows, 1u);
+}
+
+TEST(WindowQuality, SlidingWindowsByHand) {
+  // Sequence H A A H, window 2: fractions 1/2, 0, 1/2.
+  const auto quality = chain::window_quality(seq({0, 1, 1, 0}), 2);
+  EXPECT_DOUBLE_EQ(quality.worst, 0.0);
+  EXPECT_NEAR(quality.average, (0.5 + 0.0 + 0.5) / 3.0, 1e-12);
+  EXPECT_EQ(quality.windows, 3u);
+}
+
+TEST(WindowQuality, WindowOfOneIsBlockwise) {
+  const auto quality = chain::window_quality(seq({0, 1, 0}), 1);
+  EXPECT_DOUBLE_EQ(quality.worst, 0.0);
+  EXPECT_NEAR(quality.average, 2.0 / 3.0, 1e-12);
+}
+
+TEST(WindowQuality, ShortSequenceIsVacuous) {
+  const auto quality = chain::window_quality(seq({1, 1}), 5);
+  EXPECT_EQ(quality.windows, 0u);
+  EXPECT_DOUBLE_EQ(quality.worst, 1.0);
+}
+
+TEST(WindowQuality, RejectsZeroWindow) {
+  EXPECT_THROW(chain::window_quality(seq({0}), 0), support::InvalidArgument);
+}
+
+TEST(WindowQuality, WorstNeverExceedsAverage) {
+  // Property over pseudo-random sequences.
+  support::Rng rng(314);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Owner> owners;
+    for (int i = 0; i < 200; ++i) {
+      owners.push_back(rng.bernoulli(0.4) ? Owner::kAdversary
+                                          : Owner::kHonest);
+    }
+    for (const std::size_t window : {1u, 5u, 20u}) {
+      const auto quality = chain::window_quality(owners, window);
+      EXPECT_LE(quality.worst, quality.average + 1e-12);
+      EXPECT_GE(quality.worst, 0.0);
+      EXPECT_LE(quality.average, 1.0);
+    }
+  }
+}
+
+TEST(WindowQuality, SimulatedAttackDegradesWindows) {
+  // Under the optimal attack the worst window must be at most the average
+  // chain quality, and a meaningful stretch of the chain must be worse
+  // than the honest share would suggest.
+  const selfish::AttackParams params{.p = 0.3, .gamma = 0.5, .d = 2, .f = 2, .l = 4};
+  const auto model = selfish::build_model(params);
+  analysis::AnalysisOptions options;
+  options.epsilon = 1e-3;
+  const auto result = analysis::analyze(model, options);
+  sim::MdpPolicyStrategy strategy(model, result.policy);
+  sim::SimulationOptions sim_options;
+  sim_options.steps = 200'000;
+  sim_options.warmup_steps = 10'000;
+  const auto simulated = sim::simulate(params, strategy, sim_options);
+
+  ASSERT_GT(simulated.final_owners.size(), 1000u);
+  const auto quality = chain::window_quality(simulated.final_owners, 50);
+  EXPECT_LT(quality.worst, 1.0 - simulated.errev);
+  EXPECT_NEAR(quality.average, 1.0 - simulated.errev, 0.02);
+}
+
+}  // namespace

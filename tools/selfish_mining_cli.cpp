@@ -1,0 +1,383 @@
+// selfish-mining — unified command-line front end to the library.
+//
+//   selfish-mining analyze   --p=0.3 --gamma=0.5 --d=2 --f=2
+//   selfish-mining sweep     --gamma=0.5 --d=2 --f=2 --pmax=0.3 --step=0.05
+//   selfish-mining threshold --gamma=0.5 --d=2 --f=2
+//   selfish-mining simulate  --p=0.3 --gamma=0.5 --d=2 --f=2 --steps=500000
+//   selfish-mining export    --p=0.3 --gamma=0.5 --d=2 --f=1 --prefix=out
+//   selfish-mining baselines --p=0.3 --gamma=0.5
+//
+// Every subcommand accepts --help. Options may also come from the
+// SELFISH_* environment (see support::Options).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "analysis/algorithm1.hpp"
+#include "analysis/policy_stats.hpp"
+#include "analysis/strategy_io.hpp"
+#include "analysis/sweep.hpp"
+#include "analysis/threshold.hpp"
+#include "analysis/upper_bound.hpp"
+#include "baselines/eyal_sirer.hpp"
+#include "baselines/honest.hpp"
+#include "baselines/single_tree.hpp"
+#include "mdp/export.hpp"
+#include "selfish/build.hpp"
+#include "selfish/cache.hpp"
+#include "sim/strategies.hpp"
+#include "support/check.hpp"
+#include "support/csv.hpp"
+#include "support/options.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+void declare_model_options(support::Options& options) {
+  options.declare("help", "false", "show this command's options");
+  options.declare("p", "0.3", "adversary's relative resource in [0,1]");
+  options.declare("gamma", "0.5", "tie-race switching probability");
+  options.declare("d", "2", "attack depth");
+  options.declare("f", "1", "forks per public block");
+  options.declare("l", "4", "maximal private fork length");
+  options.declare("burn-lost-races", "false",
+                  "fork-choice variant: discard forks that lose tie races");
+  options.declare("epsilon", "0.001", "Algorithm 1 precision");
+  options.declare("solver", "vi", "mean-payoff solver: vi | gs | pi | dense");
+  options.declare("cache", "",
+                  "binary model cache file: reused when valid, written "
+                  "after a fresh build (worthwhile for d >= 3)");
+}
+
+/// Parses argv and handles --help; returns true when the command should
+/// proceed (false = help was printed).
+bool parse_or_help(support::Options& options, int argc,
+                   const char* const* argv) {
+  options.parse(argc, argv);
+  if (options.get_bool("help")) {
+    std::fputs(options.usage(std::string("selfish-mining ") + argv[0]).c_str(),
+               stderr);
+    return false;
+  }
+  return true;
+}
+
+selfish::AttackParams params_from(const support::Options& options) {
+  return selfish::AttackParams{
+      .p = options.get_double("p"),
+      .gamma = options.get_double("gamma"),
+      .d = options.get_int("d"),
+      .f = options.get_int("f"),
+      .l = options.get_int("l"),
+      .burn_lost_races = options.get_bool("burn-lost-races"),
+  };
+}
+
+/// Builds the model, via the on-disk cache when --cache is set.
+selfish::SelfishModel model_from(const support::Options& options) {
+  const auto params = params_from(options);
+  const std::string cache = options.get_string("cache");
+  return cache.empty() ? selfish::build_model(params)
+                       : selfish::build_or_load_model(params, cache);
+}
+
+analysis::AnalysisOptions analysis_from(const support::Options& options) {
+  analysis::AnalysisOptions out;
+  out.epsilon = options.get_double("epsilon");
+  out.solver.method = mdp::parse_solver_method(options.get_string("solver"));
+  return out;
+}
+
+int cmd_analyze(int argc, const char* const* argv) {
+  support::Options options;
+  declare_model_options(options);
+  options.declare("save-strategy", "",
+                  "write the computed strategy to this file");
+  options.declare("stats", "true", "print aggregate strategy statistics");
+  if (!parse_or_help(options, argc, argv)) return 0;
+
+  const auto params = params_from(options);
+  const auto model = model_from(options);
+  const auto result = analysis::analyze(model, analysis_from(options));
+
+  std::printf("model %s: %u states, %zu transitions\n",
+              params.to_string().c_str(), model.mdp.num_states(),
+              model.mdp.num_transitions());
+  std::printf("ERRev* in [%.6f, %.6f]; strategy achieves %.6f "
+              "(honest share: %.4f)\n",
+              result.beta_lo, result.beta_hi, result.errev_of_policy,
+              params.p);
+  std::printf("%d binary-search steps, %ld solver iterations, %.3f s\n",
+              result.search_iterations, result.solver_iterations,
+              result.seconds);
+  if (options.get_bool("stats")) {
+    const auto stats =
+        analysis::compute_policy_stats(model, result.policy);
+    std::printf("%s", stats.to_string().c_str());
+  }
+  const std::string path = options.get_string("save-strategy");
+  if (!path.empty()) {
+    std::ofstream out(path);
+    SM_REQUIRE(out.good(), "cannot open ", path);
+    analysis::save_strategy(model, result.policy, out);
+    std::printf("strategy saved to %s\n", path.c_str());
+  }
+  return 0;
+}
+
+int cmd_sweep(int argc, const char* const* argv) {
+  support::Options options;
+  declare_model_options(options);
+  options.declare("pmin", "0", "smallest resource");
+  options.declare("pmax", "0.3", "largest resource");
+  options.declare("step", "0.05", "resource grid step");
+  if (!parse_or_help(options, argc, argv)) return 0;
+
+  selfish::AttackParams base = params_from(options);
+  const auto grid = analysis::linspace_grid(options.get_double("pmin"),
+                                            options.get_double("pmax"),
+                                            options.get_double("step"));
+  const auto sweep =
+      analysis::sweep_p(base, grid, analysis_from(options));
+
+  support::CsvWriter csv(std::cout);
+  csv.header({"p", "errev_lower_bound", "errev_of_strategy", "honest",
+              "single_tree", "states", "seconds"});
+  for (const auto& point : sweep.points) {
+    const double tree =
+        baselines::analyze_single_tree(
+            baselines::SingleTreeParams{.p = point.p, .gamma = base.gamma,
+                                        .max_depth = 4, .max_width = 5})
+            .errev;
+    csv.row({support::format_double(point.p, 6),
+             support::format_double(point.errev, 6),
+             support::format_double(point.errev_of_policy, 6),
+             support::format_double(baselines::honest_errev(point.p), 6),
+             support::format_double(tree, 6),
+             std::to_string(point.num_states),
+             support::format_double(point.seconds, 4)});
+  }
+  return 0;
+}
+
+int cmd_threshold(int argc, const char* const* argv) {
+  support::Options options;
+  declare_model_options(options);
+  options.declare("margin", "0.005", "excess revenue that counts as unfair");
+  options.declare("ptol", "0.005", "p bracket width");
+  if (!parse_or_help(options, argc, argv)) return 0;
+
+  analysis::ThresholdOptions threshold_options;
+  threshold_options.analysis = analysis_from(options);
+  threshold_options.unfairness_margin = options.get_double("margin");
+  threshold_options.p_tolerance = options.get_double("ptol");
+  const auto result =
+      analysis::fairness_threshold(params_from(options), threshold_options);
+
+  if (result.always_fair) {
+    std::printf("fair for all p <= %.3f (attack never beats honest mining "
+                "by more than %.3f)\n",
+                threshold_options.p_max, threshold_options.unfairness_margin);
+  } else {
+    std::printf("attack becomes profitable at p ~= %.4f "
+                "(bracket [%.4f, %.4f], %zu probes)\n",
+                result.p_threshold, result.p_lo, result.p_hi,
+                result.probes.size());
+  }
+  return 0;
+}
+
+int cmd_simulate(int argc, const char* const* argv) {
+  support::Options options;
+  declare_model_options(options);
+  options.declare("steps", "500000", "mining steps");
+  options.declare("seed", "42", "simulation seed");
+  options.declare("strategy", "optimal",
+                  "optimal | honest | never-release, or a strategy file "
+                  "saved by `analyze --save-strategy`");
+  if (!parse_or_help(options, argc, argv)) return 0;
+
+  const auto params = params_from(options);
+  const auto model = model_from(options);
+
+  mdp::Policy policy;
+  std::unique_ptr<sim::Strategy> strategy;
+  const std::string which = options.get_string("strategy");
+  if (which == "optimal") {
+    policy = analysis::analyze(model, analysis_from(options)).policy;
+    strategy = std::make_unique<sim::MdpPolicyStrategy>(model, policy);
+  } else if (which == "honest") {
+    strategy = std::make_unique<sim::ReleaseImmediatelyStrategy>();
+  } else if (which == "never-release") {
+    strategy = std::make_unique<sim::NeverReleaseStrategy>();
+  } else {
+    std::ifstream in(which);
+    SM_REQUIRE(in.good(), "cannot open strategy file: ", which);
+    policy = analysis::load_strategy(model, in);
+    strategy = std::make_unique<sim::MdpPolicyStrategy>(model, policy);
+  }
+
+  sim::SimulationOptions sim_options;
+  sim_options.steps = static_cast<std::uint64_t>(options.get_int("steps"));
+  sim_options.warmup_steps = sim_options.steps / 20;
+  sim_options.seed = static_cast<std::uint64_t>(options.get_int("seed"));
+  const auto result = sim::simulate(params, *strategy, sim_options);
+
+  std::printf("empirical ERRev = %.5f over %llu finalized blocks "
+              "(chain quality %.5f)\n",
+              result.errev,
+              static_cast<unsigned long long>(result.revenue.total()),
+              result.revenue.chain_quality());
+  std::printf("events: %llu releases, %llu overrides, races won/lost "
+              "%llu/%llu, %llu wasted blocks\n",
+              static_cast<unsigned long long>(result.releases),
+              static_cast<unsigned long long>(result.overrides),
+              static_cast<unsigned long long>(result.races_won),
+              static_cast<unsigned long long>(result.races_lost),
+              static_cast<unsigned long long>(result.adversary_blocks_wasted));
+  for (const std::size_t window : {20u, 100u}) {
+    const auto quality = chain::window_quality(result.final_owners, window);
+    std::printf("(mu, l=%zu)-chain quality: worst %.3f, average %.3f\n",
+                window, quality.worst, quality.average);
+  }
+  return 0;
+}
+
+int cmd_export(int argc, const char* const* argv) {
+  support::Options options;
+  declare_model_options(options);
+  options.declare("prefix", "selfish_model", "output file prefix");
+  options.declare("beta", "-1",
+                  "beta for the reward file; -1 = computed ERRev bound");
+  if (!parse_or_help(options, argc, argv)) return 0;
+
+  const auto model = model_from(options);
+  double beta = options.get_double("beta");
+  if (beta < 0.0) {
+    auto analysis_options = analysis_from(options);
+    analysis_options.evaluate_exact_errev = false;
+    beta = analysis::analyze(model, analysis_options).errev_lower_bound;
+  }
+  const std::string prefix = options.get_string("prefix");
+  const auto write = [&](const char* suffix, auto&& writer) {
+    std::ofstream out(prefix + suffix);
+    SM_REQUIRE(out.good(), "cannot open ", prefix, suffix);
+    writer(out);
+  };
+  write(".tra", [&](std::ostream& o) { mdp::export_tra(model.mdp, o); });
+  write(".lab", [&](std::ostream& o) { mdp::export_lab(model.mdp, o); });
+  write(".rew",
+        [&](std::ostream& o) { mdp::export_rew(model.mdp, beta, o); });
+  std::printf("wrote %s.tra/.lab/.rew (beta = %.6f, %u states)\n",
+              prefix.c_str(), beta, model.mdp.num_states());
+  return 0;
+}
+
+int cmd_upper_bound(int argc, const char* const* argv) {
+  support::Options options;
+  declare_model_options(options);
+  options.declare("lmin", "2", "smallest fork cap to analyze");
+  options.declare("lmax", "5", "largest fork cap to analyze");
+  if (!parse_or_help(options, argc, argv)) return 0;
+
+  analysis::UpperBoundOptions ub_options;
+  ub_options.l_min = options.get_int("lmin");
+  ub_options.l_max = options.get_int("lmax");
+  ub_options.analysis = analysis_from(options);
+  const auto result =
+      analysis::bound_errev_in_l(params_from(options), ub_options);
+
+  support::Table table({"l", "states", "ERRev lower bound",
+                        "in-model upper bound"});
+  for (const auto& point : result.points) {
+    table.add_row({std::to_string(point.l), std::to_string(point.num_states),
+                   support::format_double(point.errev_lb, 6),
+                   support::format_double(point.beta_hi, 6)});
+  }
+  table.print(std::cout);
+  std::printf("certified ERRev*(l=%d) <= %.6f\n", ub_options.l_max,
+              result.certified_at_lmax);
+  std::printf("heuristic l->inf estimate: %.6f (tail %.2e, %s)\n",
+              result.extrapolated_limit, result.extrapolation_tail,
+              result.geometric ? "geometric fit" : "fallback");
+  return 0;
+}
+
+int cmd_baselines(int argc, const char* const* argv) {
+  support::Options options;
+  options.declare("help", "false", "show this command's options");
+  options.declare("p", "0.3", "adversary's relative resource");
+  options.declare("gamma", "0.5", "tie-race switching probability");
+  if (!parse_or_help(options, argc, argv)) return 0;
+  const double p = options.get_double("p");
+  const double gamma = options.get_double("gamma");
+
+  support::Table table({"baseline", "ERRev"});
+  table.add_row({"honest mining",
+                 support::format_double(baselines::honest_errev(p), 6)});
+  table.add_row(
+      {"single-tree NaS (l=4, f=5)",
+       support::format_double(
+           baselines::analyze_single_tree(
+               baselines::SingleTreeParams{.p = p, .gamma = gamma,
+                                           .max_depth = 4, .max_width = 5})
+               .errev,
+           6)});
+  if (p < 0.5) {
+    table.add_row({"Eyal-Sirer PoW selfish mining",
+                   support::format_double(
+                       baselines::eyal_sirer_revenue({p, gamma}), 6)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+void print_usage() {
+  std::fprintf(
+      stderr,
+      "selfish-mining — automated selfish mining analysis "
+      "(PODC'24 reproduction)\n\n"
+      "usage: selfish-mining <command> [--option=value ...]\n\n"
+      "commands:\n"
+      "  analyze    run Algorithm 1 for one attack configuration\n"
+      "  sweep      ERRev over a resource grid (CSV)\n"
+      "  threshold  locate the profitability frontier in p\n"
+      "  simulate   execute a strategy in the Monte-Carlo simulator\n"
+      "  export     write the MDP in Storm explicit format\n"
+      "  upper-bound certified and extrapolated bounds across fork caps\n"
+      "  baselines  baseline revenues for (p, gamma)\n\n"
+      "run a command with --help for its options.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  // Shift argv so subcommands parse their own options.
+  const int sub_argc = argc - 1;
+  const char* const* sub_argv = argv + 1;
+  try {
+    if (command == "analyze") return cmd_analyze(sub_argc, sub_argv);
+    if (command == "sweep") return cmd_sweep(sub_argc, sub_argv);
+    if (command == "threshold") return cmd_threshold(sub_argc, sub_argv);
+    if (command == "simulate") return cmd_simulate(sub_argc, sub_argv);
+    if (command == "export") return cmd_export(sub_argc, sub_argv);
+    if (command == "upper-bound") return cmd_upper_bound(sub_argc, sub_argv);
+    if (command == "baselines") return cmd_baselines(sub_argc, sub_argv);
+    if (command == "--help" || command == "help") {
+      print_usage();
+      return 0;
+    }
+    std::fprintf(stderr, "unknown command: %s\n\n", command.c_str());
+    print_usage();
+    return 1;
+  } catch (const support::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
