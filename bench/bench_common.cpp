@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "analysis/sweep.hpp"
+#include "support/parallel.hpp"
 
 namespace bench {
 
@@ -28,8 +29,15 @@ support::Options standard_options(int argc, const char* const* argv,
   options.declare("epsilon", "0.001",
                   "binary-search precision of Algorithm 1");
   options.declare("solver", "vi", "mean-payoff solver: vi | pi | dense");
+  options.declare("threads", "0",
+                  "worker threads for parallel harness stages (0 = all "
+                  "cores); also via SELFISH_THREADS");
   options.parse(argc, argv);
   return options;
+}
+
+int thread_count(const support::Options& options) {
+  return support::resolve_thread_count(options.get_int("threads"));
 }
 
 void print_header(const std::string& title, bool full) {

@@ -23,9 +23,14 @@ std::vector<double> gamma_grid();
 std::vector<double> resource_grid(bool full);
 
 /// Declares the options shared by all harnesses (--full, --epsilon,
-/// --solver) and parses argv (with SELFISH_* environment defaults).
+/// --solver, --threads) and parses argv (with SELFISH_* environment
+/// defaults).
 support::Options standard_options(int argc, const char* const* argv,
                                   const std::string& extra_help = "");
+
+/// Resolves the shared --threads option (0 = all hardware threads) into a
+/// concrete worker count.
+int thread_count(const support::Options& options);
 
 /// Prints a standard header naming the experiment and its scale.
 void print_header(const std::string& title, bool full);

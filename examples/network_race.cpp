@@ -1,0 +1,89 @@
+// Network-simulation demo: how propagation delay turns into effective
+// gamma, and how the zero-delay network converges to the MDP analysis.
+//
+//   ./network_race                 # quick demo grid
+//   ./network_race --runs=16 --threads=4 --blocks=200000
+//
+// Three mini-experiments:
+//   1. honest-uniform  — sanity: canonical share tracks hashrate.
+//   2. sm1-delay-sweep — effective gamma and attacker revenue vs delay.
+//   3. single-optimal  — zero-delay network vs the MDP-predicted ERRev.
+#include <cstdio>
+#include <iostream>
+
+#include "net/batch.hpp"
+#include "net/scenario.hpp"
+#include "support/check.hpp"
+#include "support/csv.hpp"
+#include "support/options.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  support::Options options;
+  options.declare("help", "false", "show options");
+  options.declare("p", "0.3", "attacker hashrate share");
+  options.declare("gamma", "0.5", "tie-race parameter");
+  options.declare("blocks", "60000", "mining events per run");
+  options.declare("runs", "8", "seeds per scenario point");
+  options.declare("threads", "0", "worker threads (0 = all cores)");
+  int blocks = 0;
+  try {
+    options.parse(argc, argv);
+    blocks = options.get_int("blocks");
+    SM_REQUIRE(blocks > 0, "--blocks must be positive, got ", blocks);
+  } catch (const support::Error& e) {
+    std::fprintf(stderr, "%s\n%s", e.what(),
+                 options.usage("network_race").c_str());
+    return 1;
+  }
+  if (options.get_bool("help")) {
+    std::fputs(options.usage("network_race").c_str(), stderr);
+    return 0;
+  }
+
+  net::ScenarioOptions scenario_options;
+  scenario_options.p = options.get_double("p");
+  scenario_options.gamma = options.get_double("gamma");
+  scenario_options.blocks = static_cast<std::uint64_t>(blocks);
+
+  net::BatchOptions batch_options;
+  batch_options.runs_per_scenario = options.get_int("runs");
+  batch_options.threads = options.get_int("threads");
+
+  std::vector<net::Scenario> grid;
+  for (const char* family :
+       {"honest-uniform", "sm1-delay-sweep", "single-optimal"}) {
+    for (net::Scenario& s :
+         net::make_scenarios(family, scenario_options)) {
+      grid.push_back(std::move(s));
+    }
+  }
+
+  std::printf("running %zu scenario points x %d seeds...\n\n", grid.size(),
+              batch_options.runs_per_scenario);
+  const auto aggregates = net::run_batch(grid, batch_options);
+
+  support::Table table({"scenario", "variant", "attacker share", "ci95",
+                        "stale", "eff. gamma", "predicted ERRev"});
+  for (const auto& agg : aggregates) {
+    table.add_row(
+        {agg.name, agg.variant,
+         support::format_double(agg.attacker_share.mean(), 4),
+         support::format_double(agg.attacker_share.ci95_halfwidth(), 4),
+         support::format_double(agg.stale_rate.mean(), 4),
+         agg.effective_gamma.count() == 0
+             ? "-"
+             : support::format_double(agg.effective_gamma.mean(), 3),
+         agg.predicted_errev == agg.predicted_errev  // not NaN
+             ? support::format_double(agg.predicted_errev, 4)
+             : "-"});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nReading the table: honest-uniform's attacker share is 0 by\n"
+      "construction; the delay sweep shows effective gamma sliding as the\n"
+      "honest block wins the propagation race more often; single-optimal\n"
+      "at delay=0 should match the predicted ERRev within Monte-Carlo\n"
+      "noise (tests/test_net_validation.cpp pins this to 1%%).\n");
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -117,6 +118,13 @@ mdp::Policy strategy_from_string(const selfish::SelfishModel& model,
                                  const std::string& text) {
   std::istringstream is(text);
   return load_strategy(model, is);
+}
+
+mdp::Policy load_strategy_file(const selfish::SelfishModel& model,
+                               const std::string& path) {
+  std::ifstream in(path);
+  SM_REQUIRE(in.good(), "cannot open strategy file: ", path);
+  return load_strategy(model, in);
 }
 
 }  // namespace analysis

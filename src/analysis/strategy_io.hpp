@@ -35,4 +35,10 @@ mdp::Policy load_strategy(const selfish::SelfishModel& model,
 mdp::Policy strategy_from_string(const selfish::SelfishModel& model,
                                  const std::string& text);
 
+/// Convenience: opens `path` and loads the strategy it contains. Throws
+/// support::InvalidArgument when the file cannot be opened (or on any of
+/// load_strategy's validation failures).
+mdp::Policy load_strategy_file(const selfish::SelfishModel& model,
+                               const std::string& path);
+
 }  // namespace analysis

@@ -1,0 +1,110 @@
+#include "net/batch.hpp"
+
+#include <cmath>
+#include <ostream>
+
+#include "support/check.hpp"
+#include "support/csv.hpp"
+#include "support/parallel.hpp"
+#include "support/rng.hpp"
+
+namespace net {
+
+std::uint64_t batch_run_seed(std::uint64_t base_seed,
+                             std::size_t scenario_index,
+                             std::size_t run_index) {
+  // splitmix over a position-dependent state: independent of thread
+  // scheduling and of how many scenarios precede this one in other grids.
+  std::uint64_t state = base_seed ^
+                        (static_cast<std::uint64_t>(scenario_index) *
+                         0x9e3779b97f4a7c15ULL) ^
+                        (static_cast<std::uint64_t>(run_index) *
+                         0xbf58476d1ce4e5b9ULL);
+  return support::splitmix64_next(state);
+}
+
+std::vector<ScenarioAggregate> run_batch(
+    const std::vector<Scenario>& scenarios, const BatchOptions& options) {
+  SM_REQUIRE(options.runs_per_scenario >= 1, "need at least one run");
+  const std::size_t num_scenarios = scenarios.size();
+  const std::size_t runs =
+      static_cast<std::size_t>(options.runs_per_scenario);
+
+  // Strategy analyses can dominate wall-clock for "optimal" attackers;
+  // resolve them once per scenario, up front, shared by every seed.
+  std::vector<PreparedScenario> prepared;
+  prepared.reserve(num_scenarios);
+  for (const Scenario& scenario : scenarios) {
+    prepared.push_back(prepare_scenario(scenario, options.epsilon));
+  }
+
+  // Flat grid: run index = scenario * runs + seed slot.
+  std::vector<NetworkResult> results(num_scenarios * runs);
+  support::parallel_for(
+      results.size(), options.threads, [&](std::size_t i) {
+        const std::size_t s = i / runs;
+        const std::size_t r = i % runs;
+        results[i] = run_scenario(
+            prepared[s], batch_run_seed(options.base_seed, s, r));
+      });
+
+  // Sequential, grid-ordered aggregation: identical for any thread count.
+  std::vector<ScenarioAggregate> aggregates(num_scenarios);
+  for (std::size_t s = 0; s < num_scenarios; ++s) {
+    ScenarioAggregate& agg = aggregates[s];
+    agg.name = scenarios[s].name;
+    agg.variant = scenarios[s].variant;
+    agg.attacker_power = scenarios[s].attacker_power();
+    agg.predicted_errev = prepared[s].predicted_errev;
+    agg.miner_share.resize(scenarios[s].miners.size());
+    for (std::size_t r = 0; r < runs; ++r) {
+      const NetworkResult& result = results[s * runs + r];
+      ++agg.runs;
+      double attacker = 0.0;
+      for (std::size_t m = 0; m < scenarios[s].miners.size(); ++m) {
+        const double share = result.share(static_cast<NodeId>(m));
+        agg.miner_share[m].add(share);
+        if (scenarios[s].miners[m].kind != MinerSpec::Kind::kHonest) {
+          attacker += share;
+        }
+      }
+      agg.attacker_share.add(attacker);
+      agg.stale_rate.add(result.stale_rate());
+      if (result.races_resolved > 0) {
+        agg.effective_gamma.add(result.effective_gamma());
+      }
+      agg.total_races += result.races;
+      agg.total_events += result.events;
+    }
+  }
+  return aggregates;
+}
+
+void write_batch_csv(const std::vector<ScenarioAggregate>& aggregates,
+                     std::ostream& out) {
+  support::CsvWriter csv(out);
+  csv.header({"scenario", "variant", "runs", "attacker_power",
+              "predicted_errev", "attacker_share", "attacker_share_ci95",
+              "stale_rate", "effective_gamma", "effective_gamma_ci95",
+              "races"});
+  for (const ScenarioAggregate& agg : aggregates) {
+    csv.row({agg.name, agg.variant, std::to_string(agg.runs),
+             support::format_double(agg.attacker_power, 6),
+             std::isnan(agg.predicted_errev)
+                 ? ""
+                 : support::format_double(agg.predicted_errev, 6),
+             support::format_double(agg.attacker_share.mean(), 6),
+             support::format_double(agg.attacker_share.ci95_halfwidth(), 6),
+             support::format_double(agg.stale_rate.mean(), 6),
+             agg.effective_gamma.count() == 0
+                 ? ""  // no resolved races: no data, not gamma = 0
+                 : support::format_double(agg.effective_gamma.mean(), 6),
+             agg.effective_gamma.count() == 0
+                 ? ""
+                 : support::format_double(
+                       agg.effective_gamma.ci95_halfwidth(), 6),
+             std::to_string(agg.total_races)});
+  }
+}
+
+}  // namespace net

@@ -1,0 +1,59 @@
+// The batch runner: fans a scenario-grid x seed matrix across a thread
+// pool and aggregates per-point statistics with confidence intervals.
+//
+// Determinism contract: each run's seed is a pure function of the base
+// seed and the run's position in the grid, and aggregation happens in
+// grid order after all runs complete — so the aggregated results are
+// bit-identical whether the batch executes on 1 thread or N.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "net/scenario.hpp"
+#include "support/stats.hpp"
+
+namespace net {
+
+struct BatchOptions {
+  int runs_per_scenario = 8;
+  int threads = 1;  ///< <= 0 means all hardware threads.
+  std::uint64_t base_seed = 0x5eedULL;
+  double epsilon = 1e-3;  ///< Algorithm 1 precision for "optimal" attackers.
+};
+
+/// Aggregated statistics of one scenario point across its seeds.
+struct ScenarioAggregate {
+  std::string name;
+  std::string variant;
+  int runs = 0;
+  double attacker_power = 0.0;   ///< Configured hashrate of the attackers.
+  double predicted_errev = 0.0;  ///< Analysis prediction (NaN if none).
+
+  support::RunningStat attacker_share;  ///< Canonical share of attackers.
+  support::RunningStat stale_rate;
+  /// Measured over runs with at least one resolved tie race.
+  support::RunningStat effective_gamma;
+  std::vector<support::RunningStat> miner_share;  ///< Per miner.
+  std::uint64_t total_races = 0;
+  std::uint64_t total_events = 0;
+};
+
+/// Prepares every scenario (strategy analyses run once, shared across
+/// seeds and threads), executes the full grid on the pool, aggregates.
+std::vector<ScenarioAggregate> run_batch(
+    const std::vector<Scenario>& scenarios, const BatchOptions& options);
+
+/// CSV rendering of a batch (one row per scenario point) for plotting.
+void write_batch_csv(const std::vector<ScenarioAggregate>& aggregates,
+                     std::ostream& out);
+
+/// The seed of run `run_index` of scenario `scenario_index` — exposed so
+/// tests can reproduce an individual batch run exactly.
+std::uint64_t batch_run_seed(std::uint64_t base_seed,
+                             std::size_t scenario_index,
+                             std::size_t run_index);
+
+}  // namespace net

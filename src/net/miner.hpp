@@ -1,0 +1,101 @@
+// Miner agents of the network simulator.
+//
+// Each agent maintains a *local* view of the chain (its fork-choice tip
+// plus whatever private bookkeeping its strategy needs) and reacts to two
+// stimuli: its own mining clock firing, and a foreign block arriving. The
+// simulator guarantees that a block is delivered only after its parent is
+// known to the receiving node, and that equal-time deliveries preserve
+// broadcast order — so agents never see chains out of order.
+//
+// Mining model: agent i mines at rate weight_i / W * lanes_i / interval.
+// Honest miners and the PoW-style SM1 attacker always expose one lane; the
+// efficient-proof-system attacker (MdpStrategyMiner) exposes one lane per
+// live mining target — exactly the sigma-target (p, k)-mining model of
+// paper §2.1, whose per-step win probabilities p/(1-p+p*sigma) emerge from
+// the competing exponential clocks.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/event.hpp"
+#include "support/rng.hpp"
+
+namespace net {
+
+/// How a node reacts to receiving a block at the same height as its
+/// current tip (a tie). The paper's gamma is the probability that the
+/// network ends up extending the adversary's branch after a tie race;
+/// each policy realizes it differently.
+enum class TiePolicy : std::uint8_t {
+  /// Never switch — the first-seen rule. Gamma is whatever the topology
+  /// induces (0 in a zero-delay network, since the honest block is always
+  /// delivered before the adversary's reactive release).
+  kFirstSeen = 0,
+  /// Switch iff the arriving block's wins_tie flag is set. The releasing
+  /// miner samples the flag once per tie release with probability gamma,
+  /// so the whole network switches together — this is exactly the MDP
+  /// model's atomic gamma tie race, and the mode under which the
+  /// zero-delay network reproduces the MDP-predicted ERRev.
+  kGammaShared = 1,
+  /// Every node flips its own gamma coin on every tie. The honest hash
+  /// power splits across the branches and the race is resolved by the
+  /// next block found — the classical Eyal–Sirer race semantics (the
+  /// closed-form SM1 revenue assumes this mode).
+  kGammaPerMiner = 2,
+};
+
+const char* to_string(TiePolicy policy);
+
+/// Everything an agent may touch while handling one event. The outbox
+/// collects blocks to broadcast, in order; the simulator fans them out to
+/// every other node with the topology's delays after the handler returns.
+struct MinerContext {
+  BlockArena& arena;
+  support::Rng& rng;  ///< This miner's private stream.
+  double time = 0.0;
+  std::vector<BlockId>& outbox;
+};
+
+class Miner {
+ public:
+  virtual ~Miner() = default;
+
+  /// Concurrent mining lanes backing this agent's current rate. Re-read by
+  /// the simulator after every event the agent handles.
+  virtual std::uint32_t lanes() const { return 1; }
+
+  /// The agent's mining clock fired; `lane` is uniform in [0, lanes()).
+  virtual void on_mined(std::uint32_t lane, MinerContext& ctx) = 0;
+
+  /// A foreign block arrived (parent guaranteed known).
+  virtual void on_block(BlockId block, MinerContext& ctx) = 0;
+
+  /// The agent's current fork-choice tip (what it mines on, for honest
+  /// agents; attackers mine on private tips but still expose their public
+  /// view here — the simulator uses tips only for accounting and race
+  /// detection).
+  virtual BlockId tip() const = 0;
+
+  /// Proofs this agent mined into capped forks and threw away (only the
+  /// NaS multi-fork attacker wastes work; collected into
+  /// NetworkResult::wasted at the end of a run).
+  virtual std::uint64_t wasted_blocks() const { return 0; }
+
+  NodeId id() const { return id_; }
+  void attach(NodeId id) { id_ = id; }
+
+ private:
+  NodeId id_ = kNoNode;
+};
+
+/// Longest-chain honest miner with the configured tie policy.
+std::unique_ptr<Miner> make_honest_miner(TiePolicy policy, double gamma);
+
+/// The classic Eyal–Sirer SM1 selfish miner (single private chain, PoW
+/// semantics: one lane, lead-based publish rules, abandons on a lost
+/// race). Treats every other node's blocks as "honest".
+std::unique_ptr<Miner> make_sm1_miner(TiePolicy policy, double gamma);
+
+}  // namespace net

@@ -1,0 +1,531 @@
+// Agent implementations: longest-chain honest miner, the classic SM1
+// (Eyal–Sirer) selfish miner, and the MDP-strategy attacker that mirrors
+// the concrete protocol world of sim/simulator.cpp over network events.
+#include <algorithm>
+#include <array>
+#include <utility>
+#include <vector>
+
+#include "net/mdp_miner.hpp"
+#include "net/miner.hpp"
+#include "selfish/actions.hpp"
+#include "sim/strategies.hpp"
+#include "support/check.hpp"
+
+namespace net {
+
+namespace {
+
+/// True when `ancestor` lies on the path from `block` to genesis.
+bool descends_from(const BlockArena& arena, BlockId block, BlockId ancestor) {
+  const std::uint32_t target = arena.height(ancestor);
+  if (arena.height(block) < target) return false;
+  return arena.ancestor_at(block, target) == ancestor;
+}
+
+// ----------------------------------------------------------------- honest
+
+class HonestMiner final : public Miner {
+ public:
+  HonestMiner(TiePolicy policy, double gamma)
+      : policy_(policy), gamma_(gamma) {}
+
+  void on_mined(std::uint32_t /*lane*/, MinerContext& ctx) override {
+    tip_ = ctx.arena.add(tip_, id());
+    ctx.outbox.push_back(tip_);
+  }
+
+  void on_block(BlockId block, MinerContext& ctx) override {
+    const std::uint32_t h = ctx.arena.height(block);
+    const std::uint32_t mine = ctx.arena.height(tip_);
+    if (h > mine) {
+      tip_ = block;
+      return;
+    }
+    if (h != mine || block == tip_) return;
+    switch (policy_) {
+      case TiePolicy::kFirstSeen:
+        break;
+      case TiePolicy::kGammaShared:
+        // The releasing attacker pinned the race outcome on the block;
+        // applies to ties at any fork depth (the MDP model's deep tie
+        // releases included).
+        if (ctx.arena.get(block).wins_tie) tip_ = block;
+        break;
+      case TiePolicy::kGammaPerMiner:
+        // The classical Eyal–Sirer race is tip-vs-tip: two siblings
+        // competing for the same parent. Deeper equal-length forks (e.g.
+        // an SM1 attacker's published prefix during a retreat) follow
+        // first-seen — gamma models who wins the one-block propagation
+        // race, not a willingness to reorganize history.
+        if (ctx.arena.get(block).parent == ctx.arena.get(tip_).parent &&
+            ctx.rng.bernoulli(gamma_)) {
+          tip_ = block;
+        }
+        break;
+    }
+  }
+
+  BlockId tip() const override { return tip_; }
+
+ private:
+  TiePolicy policy_;
+  double gamma_;
+  BlockId tip_ = kGenesis;
+};
+
+// -------------------------------------------------------------------- SM1
+
+/// Eyal–Sirer selfish mining: one private chain, lead-based publishing.
+/// All foreign blocks count as the "honest" rival chain, which makes the
+/// agent well-defined in multi-attacker scenarios too.
+class Sm1Miner final : public Miner {
+ public:
+  Sm1Miner(TiePolicy policy, double gamma) : policy_(policy), gamma_(gamma) {}
+
+  void on_mined(std::uint32_t /*lane*/, MinerContext& ctx) override {
+    const BlockId mined = ctx.arena.add(private_tip(), id());
+    private_.push_back(mined);
+    if (racing_) {
+      // We extended our fully published tie branch: publishing makes it
+      // strictly longer, so the whole network adopts it.
+      publish_up_to(private_.size(), ctx);
+      reset_onto_private_tip(ctx.arena);
+    }
+    // Otherwise withhold (classic SM1 never publishes on its own find).
+  }
+
+  void on_block(BlockId block, MinerContext& ctx) override {
+    // The network built on our published blocks?
+    if (published_ > 0 &&
+        descends_from(ctx.arena, block, private_[published_ - 1])) {
+      if (descends_from(ctx.arena, block, private_.back())) {
+        // It extends our full branch: our blocks won — adopt wholesale.
+        adopt(ctx.arena, block);
+        return;
+      }
+      // It extends the published prefix but forks off our withheld
+      // suffix. The prefix is canonical on every branch now, so re-root
+      // the attack there and treat the block as ordinary rival growth
+      // (below) — abandoning the withheld lead here would throw away a
+      // winning branch.
+      fork_root_ = private_[published_ - 1];
+      private_.erase(private_.begin(),
+                     private_.begin() +
+                         static_cast<std::ptrdiff_t>(published_));
+      published_ = 0;
+      public_tip_ = fork_root_;
+      public_height_ = ctx.arena.height(fork_root_);
+      racing_ = false;
+    }
+    const std::uint32_t h = ctx.arena.height(block);
+    if (h <= public_height_) return;  // stale or tying rival: first-seen
+    const int lead_prev = static_cast<int>(private_height(ctx.arena)) -
+                          static_cast<int>(public_height_);
+    public_tip_ = block;
+    public_height_ = h;
+    racing_ = false;
+    if (private_.empty() || lead_prev <= 0) {
+      adopt(ctx.arena, block);  // we lost (or never forked): give up
+      return;
+    }
+    if (lead_prev == 1) {
+      // Lead shrank to 0: publish everything and race the rival head-on.
+      const bool shared_coin = policy_ == TiePolicy::kGammaShared;
+      const bool win = shared_coin && ctx.rng.bernoulli(gamma_);
+      publish_up_to(private_.size(), ctx, /*tie_wins=*/win);
+      if (win) {
+        reset_onto_private_tip(ctx.arena);  // the network switched to us
+      } else {
+        racing_ = true;  // resolved by whoever mines next
+      }
+      return;
+    }
+    if (lead_prev == 2) {
+      // Publishing the whole branch beats the rival by one: all adopt.
+      publish_up_to(private_.size(), ctx);
+      reset_onto_private_tip(ctx.arena);
+      return;
+    }
+    // Comfortable lead: reveal just the first unpublished block.
+    publish_up_to(published_ + 1, ctx);
+  }
+
+  BlockId tip() const override {
+    return private_.empty() ? public_tip_ : private_.back();
+  }
+
+ private:
+  BlockId private_tip() const {
+    return private_.empty() ? fork_root_ : private_.back();
+  }
+
+  std::uint32_t private_height(const BlockArena& arena) const {
+    return arena.height(private_tip());
+  }
+
+  /// Broadcasts private_[published_ .. upto); marks the last published
+  /// block's tie flag when this publish creates a shared-coin tie race.
+  void publish_up_to(std::size_t upto, MinerContext& ctx,
+                     bool tie_wins = false) {
+    SM_ENSURE(upto <= private_.size(), "publishing more than we mined");
+    for (std::size_t i = published_; i < upto; ++i) {
+      ctx.outbox.push_back(private_[i]);
+    }
+    if (tie_wins && upto > published_) {
+      ctx.arena.set_wins_tie(private_[upto - 1], true);
+    }
+    published_ = std::max(published_, upto);
+  }
+
+  /// Our published branch became canonical: continue from its tip.
+  void reset_onto_private_tip(const BlockArena& arena) {
+    SM_ENSURE(!private_.empty(), "no private branch to reset onto");
+    fork_root_ = private_.back();
+    public_tip_ = fork_root_;
+    public_height_ = arena.height(fork_root_);
+    private_.clear();
+    published_ = 0;
+    racing_ = false;
+  }
+
+  /// The rival chain won: abandon the private branch and re-fork at `b`.
+  void adopt(const BlockArena& arena, BlockId b) {
+    fork_root_ = b;
+    public_tip_ = b;
+    public_height_ = arena.height(b);
+    private_.clear();
+    published_ = 0;
+    racing_ = false;
+  }
+
+  TiePolicy policy_;
+  double gamma_;
+  BlockId fork_root_ = kGenesis;    ///< Common base of both chains.
+  BlockId public_tip_ = kGenesis;   ///< Best rival tip seen.
+  std::uint32_t public_height_ = 0;
+  std::vector<BlockId> private_;    ///< Our blocks above fork_root_.
+  std::size_t published_ = 0;       ///< Broadcast prefix of private_.
+  bool racing_ = false;  ///< Fully published and tied with the rival.
+};
+
+// ----------------------------------------------------- MDP strategy replay
+
+/// Mirrors sim/simulator.cpp's World over the network arena: local public
+/// chain (index = height), live private forks of the (d, f, l) model, and
+/// the exact release/acceptance semantics of DESIGN.md §3.
+class MdpStrategyMiner final : public Miner {
+ public:
+  MdpStrategyMiner(const StrategyMinerConfig& config,
+                   std::shared_ptr<const selfish::SelfishModel> model,
+                   std::shared_ptr<const mdp::Policy> policy)
+      : params_(config.params),
+        tie_policy_(config.tie_policy),
+        gamma_(config.gamma),
+        model_(std::move(model)),
+        policy_(std::move(policy)) {
+    params_.validate();
+    SM_REQUIRE(tie_policy_ != TiePolicy::kGammaPerMiner,
+               "the MDP-strategy agent needs a tie outcome known at "
+               "release time: use kGammaShared (or kFirstSeen for gamma=0)");
+    if (config.strategy == "optimal") {
+      SM_REQUIRE(model_ != nullptr && policy_ != nullptr,
+                 "strategy 'optimal' needs a prepared model and policy");
+      strategy_ = std::make_unique<sim::MdpPolicyStrategy>(*model_, *policy_);
+    } else {
+      strategy_ = sim::make_builtin_strategy(config.strategy);
+    }
+    public_chain_.push_back(kGenesis);
+  }
+
+  std::uint32_t lanes() const override {
+    return static_cast<std::uint32_t>(mining_targets().size());
+  }
+
+  void on_mined(std::uint32_t lane, MinerContext& ctx) override {
+    arena_ = &ctx.arena;
+    const auto targets = mining_targets();
+    SM_ENSURE(lane < targets.size(), "mining lane out of range");
+    apply_win(targets[lane], ctx.arena);
+    decide(selfish::StepType::kAdversaryFound, kGenesis, ctx);
+  }
+
+  void on_block(BlockId block, MinerContext& ctx) override {
+    arena_ = &ctx.arena;
+    const std::uint32_t h = ctx.arena.height(block);
+    if (ctx.arena.get(block).parent == public_chain_.back()) {
+      // The pending-honest decision point of the abstract model: a block
+      // extending our public tip arrived and we may match or override it
+      // before (from our point of view) incorporating it.
+      decide(selfish::StepType::kHonestFound, block, ctx);
+      return;
+    }
+    if (h > local_height()) {
+      adopt_rival_chain(block, ctx.arena);
+    }
+    // Equal or lower rival blocks: first-seen, nothing to do.
+  }
+
+  BlockId tip() const override { return public_chain_.back(); }
+
+  std::uint64_t wasted_blocks() const override { return wasted_; }
+
+ private:
+  struct Fork {
+    BlockId root = kGenesis;
+    std::vector<BlockId> blocks;  ///< blocks[0] is the child of root.
+    std::size_t length() const { return blocks.size(); }
+  };
+
+  struct Target {
+    bool new_fork = false;
+    int depth = 0;
+    std::size_t fork_index = 0;
+  };
+
+  std::uint32_t local_height() const {
+    return static_cast<std::uint32_t>(public_chain_.size()) - 1;
+  }
+
+  int depth_of_root(BlockId root, const BlockArena& arena) const {
+    return static_cast<int>(local_height() - arena.height(root)) + 1;
+  }
+
+  /// Live forks at `depth`, longest first (index = canonical slot).
+  std::vector<std::size_t> forks_at_depth(int depth,
+                                          const BlockArena& arena) const {
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < forks_.size(); ++i) {
+      if (depth_of_root(forks_[i].root, arena) == depth) out.push_back(i);
+    }
+    std::sort(out.begin(), out.end(), [&](std::size_t a, std::size_t b) {
+      return forks_[a].length() > forks_[b].length();
+    });
+    return out;
+  }
+
+  /// One lane per live fork (capped forks still occupy a proof lane) plus
+  /// one new-fork lane per depth with a free slot and an existing root —
+  /// mirroring World::mining_targets (the early-chain root guard only
+  /// matters below height d, inside the warmup window).
+  std::vector<Target> mining_targets() const {
+    std::vector<Target> targets;
+    std::array<int, selfish::kMaxDepth + 1> count_at_depth{};
+    for (std::size_t i = 0; i < forks_.size(); ++i) {
+      const int depth = depth_of_root(forks_[i].root, *arena_);
+      count_at_depth[depth] += 1;
+      targets.push_back(Target{false, depth, i});
+    }
+    for (int depth = 1; depth <= params_.d; ++depth) {
+      if (count_at_depth[depth] < params_.f &&
+          static_cast<std::uint32_t>(depth) <= local_height() + 1) {
+        targets.push_back(Target{true, depth, 0});
+      }
+    }
+    return targets;
+  }
+
+  void apply_win(const Target& target, BlockArena& arena) {
+    if (target.new_fork) {
+      const std::uint32_t root_height =
+          local_height() - static_cast<std::uint32_t>(target.depth - 1);
+      Fork fork;
+      fork.root = public_chain_[root_height];
+      fork.blocks.push_back(arena.add(fork.root, id()));
+      forks_.push_back(std::move(fork));
+      return;
+    }
+    Fork& fork = forks_[target.fork_index];
+    if (static_cast<int>(fork.length()) >= params_.l) {
+      ++wasted_;  // mined into a capped fork: the proof is thrown away
+      return;
+    }
+    const BlockId fork_tip = fork.blocks.empty() ? fork.root
+                                                 : fork.blocks.back();
+    fork.blocks.push_back(arena.add(fork_tip, id()));
+  }
+
+  /// Canonical abstract (C, O, type) view of the local world.
+  selfish::State view(selfish::StepType type, const BlockArena& arena) const {
+    selfish::State s{};
+    for (int depth = 1; depth <= params_.d; ++depth) {
+      const auto at_depth = forks_at_depth(depth, arena);
+      SM_ENSURE(static_cast<int>(at_depth.size()) <= params_.f,
+                "more live forks at one depth than slots");
+      for (std::size_t j = 0; j < at_depth.size(); ++j) {
+        s.c[depth - 1][j] =
+            static_cast<std::uint8_t>(forks_[at_depth[j]].length());
+      }
+    }
+    for (int depth = 1; depth <= params_.d - 1; ++depth) {
+      if (static_cast<std::uint32_t>(depth) > local_height()) continue;
+      const std::uint32_t height = local_height() - (depth - 1);
+      if (height == 0) continue;  // genesis counts as honest
+      if (arena.get(public_chain_[height]).miner == id()) {
+        s.owner_bits |= static_cast<std::uint8_t>(1u << (depth - 1));
+      }
+    }
+    s.type = type;
+    s.canonicalize(params_);
+    return s;
+  }
+
+  /// Consults the strategy at a decision point and executes its action.
+  /// `pending` is the just-arrived honest block for kHonestFound (not yet
+  /// part of the local public chain, exactly like World's pending).
+  void decide(selfish::StepType type, BlockId pending, MinerContext& ctx) {
+    arena_ = &ctx.arena;
+    const selfish::Action action = strategy_->decide(view(type, ctx.arena));
+    if (action.kind == selfish::Action::Kind::kMine) {
+      if (type == selfish::StepType::kHonestFound) incorporate(pending, ctx);
+      return;
+    }
+    const int i = action.depth;
+    const int k = action.length;
+    if (type == selfish::StepType::kAdversaryFound) {
+      SM_REQUIRE(k >= i, "release shorter than the public chain");
+      release(i, action.slot, k, ctx);
+      return;
+    }
+    if (k >= i + 1) {
+      // Override: strictly longer than the pending block's chain, so the
+      // network adopts unconditionally and the pending block is orphaned.
+      release(i, action.slot, k, ctx);
+      return;
+    }
+    SM_REQUIRE(k == i, "release shorter than the public chain");
+    // Tie race. The coin is sampled here (kGammaShared) or implicitly
+    // always lost (kFirstSeen); the released blocks are broadcast either
+    // way — the network has seen them, it just may not adopt them.
+    const bool win = tie_policy_ == TiePolicy::kGammaShared &&
+                     ctx.rng.bernoulli(gamma_);
+    if (win) {
+      release(i, action.slot, k, ctx, /*tie_wins=*/true);
+    } else {
+      // Lost race: broadcast the challenged prefix without restructuring —
+      // the fork survives intact one depth deeper (the paper's non-burn
+      // fork-choice rule) and may be re-released longer later.
+      broadcast_fork_prefix(i, action.slot, k, ctx);
+      incorporate(pending, ctx);
+    }
+  }
+
+  void incorporate(BlockId pending, MinerContext& ctx) {
+    public_chain_.push_back(pending);
+    prune_forks(ctx.arena);
+  }
+
+  /// Publishes the first k blocks of the fork at (depth, slot): truncates
+  /// the local public chain to the fork's root, appends the released
+  /// blocks, re-roots the unreleased remainder, and broadcasts.
+  void release(int depth, int slot, int k, MinerContext& ctx,
+               bool tie_wins = false) {
+    const auto at_depth = forks_at_depth(depth, ctx.arena);
+    SM_REQUIRE(slot >= 0 && slot < static_cast<int>(at_depth.size()),
+               "no fork in slot ", slot, " at depth ", depth);
+    const Fork fork = forks_[at_depth[slot]];
+    forks_.erase(forks_.begin() + static_cast<std::ptrdiff_t>(at_depth[slot]));
+    SM_ENSURE(static_cast<int>(fork.length()) >= k, "fork shorter than k");
+
+    const std::uint32_t root_height = ctx.arena.height(fork.root);
+    public_chain_.resize(root_height + 1);
+    for (int b = 0; b < k; ++b) public_chain_.push_back(fork.blocks[b]);
+    if (static_cast<int>(fork.length()) > k) {
+      Fork remainder;
+      remainder.root = public_chain_.back();
+      remainder.blocks.assign(fork.blocks.begin() + k, fork.blocks.end());
+      forks_.push_back(std::move(remainder));
+    }
+    if (tie_wins) ctx.arena.set_wins_tie(public_chain_.back(), true);
+    for (int b = 0; b < k; ++b) ctx.outbox.push_back(fork.blocks[b]);
+    prune_forks(ctx.arena);
+  }
+
+  /// Broadcasts the first k blocks of a fork without publishing them into
+  /// the local chain (a tie release that lost its coin).
+  void broadcast_fork_prefix(int depth, int slot, int k, MinerContext& ctx) {
+    const auto at_depth = forks_at_depth(depth, ctx.arena);
+    SM_REQUIRE(slot >= 0 && slot < static_cast<int>(at_depth.size()),
+               "no fork in slot ", slot, " at depth ", depth);
+    const Fork& fork = forks_[at_depth[slot]];
+    SM_ENSURE(static_cast<int>(fork.length()) >= k, "fork shorter than k");
+    for (int b = 0; b < k; ++b) ctx.outbox.push_back(fork.blocks[b]);
+  }
+
+  /// A rival chain overtook our local view (only possible with delays or
+  /// competing attackers): rebuild the public chain along its ancestry.
+  void adopt_rival_chain(BlockId new_tip, const BlockArena& arena) {
+    const std::uint32_t h = arena.height(new_tip);
+    std::vector<BlockId> path;  // new_tip down to (excluding) common base
+    BlockId cursor = new_tip;
+    while (true) {
+      const std::uint32_t ch = arena.height(cursor);
+      if (ch <= local_height() && ch < public_chain_.size() &&
+          public_chain_[ch] == cursor) {
+        break;  // cursor is on our chain: common ancestor found
+      }
+      SM_ENSURE(cursor != kGenesis, "rival chain does not meet genesis");
+      path.push_back(cursor);
+      cursor = arena.get(cursor).parent;
+    }
+    public_chain_.resize(arena.height(cursor) + 1);
+    for (auto it = path.rbegin(); it != path.rend(); ++it) {
+      public_chain_.push_back(*it);
+    }
+    SM_ENSURE(local_height() == h, "rival adoption height mismatch");
+    prune_forks(arena);
+  }
+
+  /// Drops forks whose root fell out of the depth-d window or was
+  /// orphaned by a chain rewrite.
+  void prune_forks(const BlockArena& arena) {
+    std::erase_if(forks_, [&](const Fork& fork) {
+      const std::uint32_t root_height = arena.height(fork.root);
+      if (root_height + static_cast<std::uint32_t>(params_.d) <
+          local_height() + 1) {
+        return true;
+      }
+      return public_chain_[root_height] != fork.root;
+    });
+  }
+
+  selfish::AttackParams params_;
+  TiePolicy tie_policy_;
+  double gamma_;
+  std::shared_ptr<const selfish::SelfishModel> model_;
+  std::shared_ptr<const mdp::Policy> policy_;
+  std::unique_ptr<sim::Strategy> strategy_;
+  const BlockArena* arena_ = nullptr;  ///< For lanes() between events.
+  std::vector<BlockId> public_chain_;  ///< Index = height.
+  std::vector<Fork> forks_;
+  std::uint64_t wasted_ = 0;
+};
+
+}  // namespace
+
+const char* to_string(TiePolicy policy) {
+  switch (policy) {
+    case TiePolicy::kFirstSeen: return "first-seen";
+    case TiePolicy::kGammaShared: return "gamma-shared";
+    case TiePolicy::kGammaPerMiner: return "gamma-per-miner";
+  }
+  return "?";
+}
+
+std::unique_ptr<Miner> make_honest_miner(TiePolicy policy, double gamma) {
+  return std::make_unique<HonestMiner>(policy, gamma);
+}
+
+std::unique_ptr<Miner> make_sm1_miner(TiePolicy policy, double gamma) {
+  return std::make_unique<Sm1Miner>(policy, gamma);
+}
+
+std::unique_ptr<Miner> make_strategy_miner(
+    const StrategyMinerConfig& config,
+    std::shared_ptr<const selfish::SelfishModel> model,
+    std::shared_ptr<const mdp::Policy> policy) {
+  return std::make_unique<MdpStrategyMiner>(config, std::move(model),
+                                            std::move(policy));
+}
+
+}  // namespace net

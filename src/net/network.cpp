@@ -1,0 +1,320 @@
+#include "net/network.hpp"
+
+#include <cmath>
+#include <unordered_map>
+#include <utility>
+
+#include "net/event.hpp"
+#include "support/check.hpp"
+
+namespace net {
+
+namespace {
+
+class Simulator {
+ public:
+  Simulator(const NetworkConfig& config, std::vector<MinerSetup> miners)
+      : config_(config), miners_(std::move(miners)) {
+    const std::size_t n = miners_.size();
+    SM_REQUIRE(n >= 1, "network needs at least one miner");
+    SM_REQUIRE(config_.topology.num_nodes() == n,
+               "topology has ", config_.topology.num_nodes(),
+               " nodes for ", n, " miners");
+    SM_REQUIRE(config_.block_interval > 0.0, "block interval must be > 0");
+    double total = 0.0;
+    for (const MinerSetup& m : miners_) {
+      SM_REQUIRE(m.agent != nullptr, "null miner agent");
+      SM_REQUIRE(m.weight >= 0.0, "negative miner weight");
+      total += m.weight;
+    }
+    SM_REQUIRE(total > 0.0, "total hashrate must be positive");
+    total_weight_ = total;
+
+    rngs_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      miners_[i].agent->attach(static_cast<NodeId>(i));
+      rngs_.push_back(support::Rng::for_stream(config_.seed,
+                                               static_cast<std::uint64_t>(i)));
+    }
+    generation_.assign(n, 0);
+    known_.resize(n);
+    orphans_.resize(n);
+    result_.canonical.assign(n, 0);
+    result_.mined.assign(n, 0);
+    for (std::size_t i = 0; i < n; ++i) schedule_mining(static_cast<NodeId>(i));
+  }
+
+  NetworkResult run() {
+    while (!queue_.empty() && result_.mine_events < config_.blocks) {
+      const Event event = queue_.pop();
+      if (event.kind == EventKind::kMine) {
+        if (event.generation != generation_[event.node]) continue;  // stale
+        now_ = event.time;
+        ++result_.events;
+        handle_mine(event.node);
+      } else {
+        now_ = event.time;
+        ++result_.events;
+        handle_delivery(event.node, event.block);
+      }
+      result_.sim_time = now_;
+    }
+    finalize();
+    return std::move(result_);
+  }
+
+ private:
+  // ------------------------------------------------------------- mining
+
+  double rate_of(NodeId node) const {
+    const double lanes =
+        static_cast<double>(miners_[node].agent->lanes());
+    return miners_[node].weight / total_weight_ * lanes /
+           config_.block_interval;
+  }
+
+  /// (Re)arms `node`'s exponential clock from `now_`. Thanks to
+  /// memorylessness, re-drawing the remaining waiting time at any event
+  /// is distribution-preserving, so we simply reschedule the node after
+  /// every event it handles (its lane count may have changed).
+  void schedule_mining(NodeId node) {
+    ++generation_[node];
+    const double rate = rate_of(node);
+    if (rate <= 0.0) return;  // zero hashrate or no lanes: clock parked
+    const double u = rngs_[node].next_double();
+    const double wait = -std::log1p(-u) / rate;
+    Event event;
+    event.time = now_ + wait;
+    event.kind = EventKind::kMine;
+    event.node = node;
+    event.generation = generation_[node];
+    queue_.push(event);
+  }
+
+  void handle_mine(NodeId node) {
+    ++result_.mine_events;
+    ++result_.mined[node];
+    const std::uint32_t lanes = miners_[node].agent->lanes();
+    SM_ENSURE(lanes > 0, "mining event on a node with no lanes");
+    const std::uint32_t lane =
+        lanes == 1 ? 0
+                   : static_cast<std::uint32_t>(rngs_[node].next_below(lanes));
+    const std::size_t arena_before = arena_.size();
+    outbox_.clear();
+    MinerContext ctx{arena_, rngs_[node], now_, outbox_};
+    miners_[node].agent->on_mined(lane, ctx);
+    // Every block the agent minted is known to it (broadcast or withheld).
+    for (std::size_t b = arena_before; b < arena_.size(); ++b) {
+      mark_known(node, static_cast<BlockId>(b));
+    }
+    resolve_race(node, arena_before);
+    broadcast(node);
+    schedule_mining(node);
+  }
+
+  // ----------------------------------------------------------- delivery
+
+  void broadcast(NodeId from) {
+    if (outbox_.empty()) return;
+    for (const BlockId block : outbox_) {
+      for (NodeId to = 0; to < miners_.size(); ++to) {
+        if (to == from) continue;
+        Event event;
+        event.time = now_ + config_.topology.delay(from, to);
+        event.kind = EventKind::kDeliver;
+        event.node = to;
+        event.block = block;
+        queue_.push(event);
+      }
+    }
+    outbox_.clear();
+  }
+
+  bool knows(NodeId node, BlockId block) const {
+    if (block == kGenesis) return true;
+    if (arena_.get(block).miner == node) return true;
+    const auto& flags = known_[node];
+    return block < flags.size() && flags[block] != 0;
+  }
+
+  void mark_known(NodeId node, BlockId block) {
+    auto& flags = known_[node];
+    if (flags.size() <= block) flags.resize(arena_.size(), 0);
+    flags[block] = 1;
+  }
+
+  void handle_delivery(NodeId node, BlockId block) {
+    if (knows(node, block)) return;  // duplicate (e.g. re-released blocks)
+    if (!knows(node, arena_.get(block).parent)) {
+      // Out-of-order arrival: park until the parent shows up.
+      orphans_[node][arena_.get(block).parent].push_back(block);
+      return;
+    }
+    deliver_chain(node, block);
+    schedule_mining(node);  // lane count may have changed
+  }
+
+  /// Delivers `block` and any parked descendants that became deliverable.
+  void deliver_chain(NodeId node, BlockId block) {
+    std::vector<BlockId> pending{block};
+    while (!pending.empty()) {
+      const BlockId next = pending.back();
+      pending.pop_back();
+      if (knows(node, next)) continue;  // parked twice via duplicate sends
+      deliver_one(node, next);
+      auto& parked = orphans_[node];
+      const auto it = parked.find(next);
+      if (it != parked.end()) {
+        // Reverse: the work stack pops from the back, and parked children
+        // must be processed in arrival order.
+        pending.insert(pending.end(), it->second.rbegin(),
+                       it->second.rend());
+        parked.erase(it);
+      }
+    }
+  }
+
+  void deliver_one(NodeId node, BlockId block) {
+    Miner& agent = *miners_[node].agent;
+    const BlockId tip_before = agent.tip();
+    detect_race(node, block, tip_before);
+    outbox_.clear();
+    MinerContext ctx{arena_, rngs_[node], now_, outbox_};
+    const std::size_t arena_before = arena_.size();
+    agent.on_block(block, ctx);
+    // A delivery above the race height means the attacker published a
+    // longer chain (an override in flight): the race was never settled by
+    // the honest network's branch choice — drop the sample. Honest blocks
+    // above the race height cannot reach here: they resolve the race at
+    // their mine event, before broadcast.
+    if (race_active_ && arena_.height(block) > race_height_) {
+      race_active_ = false;
+    }
+    mark_known(node, block);
+    for (std::size_t b = arena_before; b < arena_.size(); ++b) {
+      mark_known(node, static_cast<BlockId>(b));
+    }
+    broadcast(node);
+  }
+
+  // -------------------------------------------------- effective gamma
+
+  /// A tie race starts when an attacker-mined block reaches an honest
+  /// node already holding a *sibling* tip (the classical tip-vs-tip
+  /// race; deeper equal-length releases are overrides-in-flight, not
+  /// races, and are excluded to keep the statistic comparable to gamma).
+  void detect_race(NodeId node, BlockId block, BlockId tip_before) {
+    if (!miners_[node].honest || race_active_) return;
+    if (block == tip_before ||
+        arena_.get(block).parent != arena_.get(tip_before).parent) {
+      return;
+    }
+    const NodeId challenger_miner = arena_.get(block).miner;
+    if (challenger_miner == kNoNode || miners_[challenger_miner].honest) {
+      return;
+    }
+    race_active_ = true;
+    race_height_ = arena_.height(block);
+    race_challenger_ = block;
+    ++result_.races;
+  }
+
+  /// The first block mined above the race height settles the measurement.
+  /// Gamma is the share of *honest* power mining on the challenger during
+  /// the race, so only an honest block resolves it: challenger point iff
+  /// that block extends the challenger. An attacker block above the race
+  /// height preempts the race instead (the attacker settled it by mining,
+  /// not the honest network's branch choice) — the sample is discarded.
+  void resolve_race(NodeId node, std::size_t arena_before) {
+    if (!race_active_) return;
+    for (std::size_t b = arena_before; b < arena_.size(); ++b) {
+      const BlockId id = static_cast<BlockId>(b);
+      if (arena_.height(id) <= race_height_) continue;
+      race_active_ = false;
+      if (!miners_[node].honest) return;  // preempted, not measured
+      ++result_.races_resolved;
+      if (arena_.ancestor_at(id, race_height_) == race_challenger_) {
+        ++result_.races_challenger_won;
+      }
+      return;
+    }
+  }
+
+  // --------------------------------------------------------- accounting
+
+  void finalize() {
+    // The canonical chain is the best tip the *honest* part of the
+    // network holds (withheld attacker blocks are not canonical). Ties
+    // break toward the smallest block id — deterministic and
+    // first-created.
+    BlockId best = kGenesis;
+    bool any_honest = false;
+    for (const MinerSetup& m : miners_) {
+      if (!m.honest) continue;
+      any_honest = true;
+      best = better_tip(best, m.agent->tip());
+    }
+    if (!any_honest) {
+      for (const MinerSetup& m : miners_) {
+        best = better_tip(best, m.agent->tip());
+      }
+    }
+    result_.tip_height = arena_.height(best);
+    result_.arena_blocks = static_cast<std::uint64_t>(arena_.size()) - 1;
+    for (const MinerSetup& m : miners_) {
+      result_.wasted.push_back(m.agent->wasted_blocks());
+    }
+
+    const std::uint32_t top =
+        result_.tip_height >
+                static_cast<std::uint32_t>(config_.confirm_depth)
+            ? result_.tip_height -
+                  static_cast<std::uint32_t>(config_.confirm_depth)
+            : 0;
+    BlockId cursor = best;
+    while (arena_.height(cursor) > top) cursor = arena_.get(cursor).parent;
+    while (arena_.height(cursor) > config_.warmup_heights) {
+      const NodeId owner = arena_.get(cursor).miner;
+      SM_ENSURE(owner != kNoNode, "counted block without a miner");
+      ++result_.canonical[owner];
+      ++result_.counted;
+      cursor = arena_.get(cursor).parent;
+    }
+  }
+
+  BlockId better_tip(BlockId a, BlockId b) const {
+    if (arena_.height(a) != arena_.height(b)) {
+      return arena_.height(a) > arena_.height(b) ? a : b;
+    }
+    return a < b ? a : b;
+  }
+
+  NetworkConfig config_;
+  std::vector<MinerSetup> miners_;
+  double total_weight_ = 0.0;
+
+  BlockArena arena_;
+  EventQueue queue_;
+  double now_ = 0.0;
+  std::vector<support::Rng> rngs_;
+  std::vector<std::uint64_t> generation_;
+  std::vector<std::vector<char>> known_;  ///< Per node, indexed by block.
+  std::vector<std::unordered_map<BlockId, std::vector<BlockId>>> orphans_;
+  std::vector<BlockId> outbox_;
+
+  bool race_active_ = false;
+  std::uint32_t race_height_ = 0;
+  BlockId race_challenger_ = kGenesis;
+
+  NetworkResult result_;
+};
+
+}  // namespace
+
+NetworkResult run_network(const NetworkConfig& config,
+                          std::vector<MinerSetup> miners) {
+  Simulator simulator(config, std::move(miners));
+  return simulator.run();
+}
+
+}  // namespace net

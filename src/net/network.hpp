@@ -1,0 +1,99 @@
+// The continuous-time discrete-event network simulator.
+//
+// Every miner runs an independent exponential mining clock whose rate is
+// weight_i / W * lanes_i / block_interval — competing exponential clocks
+// make the winner of each "step" exactly the paper's (p, k)-mining model
+// (§2.1), while per-link propagation delays and local chain views add the
+// network realism the abstract model collapses into gamma. Blocks are
+// broadcast to every other node with the topology's one-way delays,
+// delivered in order (a block is handed to an agent only once its parent
+// is known there; out-of-order arrivals are parked), and deduplicated.
+//
+// Beyond per-miner revenue the simulator measures the *effective gamma*:
+// the fraction of attacker tie races whose next honest block extends the
+// attacker's branch — the operational meaning of the paper's gamma
+// parameter, here an emergent property of topology and tie policy.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/miner.hpp"
+#include "net/topology.hpp"
+
+namespace net {
+
+struct MinerSetup {
+  std::unique_ptr<Miner> agent;
+  double weight = 1.0;  ///< Relative hashrate (normalized internally).
+  bool honest = true;   ///< Honest nodes anchor accounting & race stats.
+};
+
+struct NetworkConfig {
+  Topology topology;             ///< Must match the number of miners.
+  double block_interval = 600.0; ///< Mean time between blocks at one lane
+                                 ///< per unit weight (seconds).
+  std::uint64_t blocks = 100'000;   ///< Mining events to simulate (incl.
+                                    ///< blocks wasted on capped forks).
+  std::uint32_t warmup_heights = 100;  ///< Chain prefix excluded from
+                                       ///< revenue accounting.
+  int confirm_depth = 12;  ///< Contested suffix excluded from accounting.
+  std::uint64_t seed = 1;  ///< Per-miner streams derive from this.
+};
+
+struct NetworkResult {
+  std::uint64_t events = 0;       ///< Events processed (mine + deliver).
+  std::uint64_t mine_events = 0;  ///< Blocks found, including wasted ones.
+  std::uint64_t arena_blocks = 0; ///< Blocks actually created (excl. genesis).
+  double sim_time = 0.0;          ///< Clock at the last processed event.
+  std::uint32_t tip_height = 0;   ///< Height of the final canonical tip.
+
+  /// Canonical blocks per miner inside the accounting window
+  /// (warmup_heights, tip_height - confirm_depth].
+  std::vector<std::uint64_t> canonical;
+  std::uint64_t counted = 0;  ///< Window length = sum of canonical.
+  /// Mining events per miner (a proxy for work; includes wasted blocks).
+  std::vector<std::uint64_t> mined;
+  /// Proofs mined into capped forks and discarded, per miner (non-zero
+  /// only for NaS multi-fork attackers).
+  std::vector<std::uint64_t> wasted;
+
+  // Attacker tie races (challenger block mined by a non-honest node
+  // arriving at the height of an honest node's current tip).
+  std::uint64_t races = 0;                 ///< Races started.
+  std::uint64_t races_resolved = 0;        ///< Next honest block arrived.
+  std::uint64_t races_challenger_won = 0;  ///< ... on the attacker branch.
+
+  /// Share of the counted canonical window owned by `node`; 0 if empty.
+  double share(NodeId node) const {
+    return counted == 0 ? 0.0
+                        : static_cast<double>(canonical[node]) /
+                              static_cast<double>(counted);
+  }
+
+  /// Empirical gamma: challenger wins over resolved races; 0 if no races
+  /// resolved.
+  double effective_gamma() const {
+    return races_resolved == 0
+               ? 0.0
+               : static_cast<double>(races_challenger_won) /
+                     static_cast<double>(races_resolved);
+  }
+
+  /// Fraction of created blocks that did not end up on the canonical
+  /// chain (whole run, warmup included); 0 when nothing was mined.
+  double stale_rate() const {
+    return arena_blocks == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(tip_height) /
+                           static_cast<double>(arena_blocks);
+  }
+};
+
+/// Runs one network simulation to completion. Deterministic: the same
+/// config and agents with the same seed produce the same event trace.
+NetworkResult run_network(const NetworkConfig& config,
+                          std::vector<MinerSetup> miners);
+
+}  // namespace net

@@ -1,0 +1,57 @@
+#include "net/topology.hpp"
+
+#include <utility>
+
+namespace net {
+
+Topology Topology::uniform(std::size_t nodes, double delay) {
+  SM_REQUIRE(nodes > 0, "topology needs at least one node");
+  SM_REQUIRE(delay >= 0.0, "negative propagation delay");
+  Topology t;
+  t.nodes_ = nodes;
+  t.delays_.assign(nodes * nodes, delay);
+  for (std::size_t i = 0; i < nodes; ++i) t.delays_[i * nodes + i] = 0.0;
+  return t;
+}
+
+Topology Topology::star(const std::vector<double>& spoke_delays) {
+  const std::size_t nodes = spoke_delays.size();
+  SM_REQUIRE(nodes > 0, "topology needs at least one node");
+  Topology t;
+  t.nodes_ = nodes;
+  t.delays_.assign(nodes * nodes, 0.0);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    SM_REQUIRE(spoke_delays[i] >= 0.0, "negative spoke delay");
+    for (std::size_t j = 0; j < nodes; ++j) {
+      if (i != j) t.delays_[i * nodes + j] = spoke_delays[i] + spoke_delays[j];
+    }
+  }
+  return t;
+}
+
+Topology Topology::from_matrix(std::vector<std::vector<double>> matrix) {
+  const std::size_t nodes = matrix.size();
+  SM_REQUIRE(nodes > 0, "topology needs at least one node");
+  Topology t;
+  t.nodes_ = nodes;
+  t.delays_.assign(nodes * nodes, 0.0);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    SM_REQUIRE(matrix[i].size() == nodes, "delay matrix must be square");
+    for (std::size_t j = 0; j < nodes; ++j) {
+      if (i == j) continue;
+      SM_REQUIRE(matrix[i][j] >= 0.0, "negative propagation delay");
+      t.delays_[i * nodes + j] = matrix[i][j];
+    }
+  }
+  return t;
+}
+
+double Topology::max_delay() const {
+  double worst = 0.0;
+  for (double d : delays_) {
+    if (d > worst) worst = d;
+  }
+  return worst;
+}
+
+}  // namespace net

@@ -1,0 +1,46 @@
+// Propagation topology: a dense per-pair one-way delay matrix.
+//
+// Delays are in the same time unit as the scenario's block interval
+// (conventionally seconds). A broadcast from node i reaches node j after
+// delay(i, j); delays need not be symmetric. Zero delays model the
+// abstract instant-propagation network of the MDP analysis.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/event.hpp"
+
+namespace net {
+
+class Topology {
+ public:
+  Topology() = default;
+
+  /// All distinct pairs share one delay (a complete graph); delay 0 is the
+  /// abstract instant-broadcast network.
+  static Topology uniform(std::size_t nodes, double delay);
+
+  /// Star: every node hangs off a virtual hub by its spoke delay, so
+  /// delay(i, j) = spoke[i] + spoke[j]. Models one well-connected miner
+  /// (small spoke) vs. poorly connected ones (large spokes).
+  static Topology star(const std::vector<double>& spoke_delays);
+
+  /// Explicit matrix[i][j] = one-way delay from i to j (diagonal ignored).
+  static Topology from_matrix(std::vector<std::vector<double>> matrix);
+
+  std::size_t num_nodes() const { return nodes_; }
+  double delay(NodeId from, NodeId to) const {
+    SM_REQUIRE(from < nodes_ && to < nodes_, "topology node out of range");
+    return delays_[from * nodes_ + to];
+  }
+
+  /// Largest pairwise delay (0 for <= 1 nodes) — used to size warmups.
+  double max_delay() const;
+
+ private:
+  std::size_t nodes_ = 0;
+  std::vector<double> delays_;  ///< Row-major nodes_ x nodes_.
+};
+
+}  // namespace net

@@ -28,4 +28,13 @@ selfish::Action NeverReleaseStrategy::decide(const selfish::State&) {
   return selfish::Action::mine();
 }
 
+std::unique_ptr<Strategy> make_builtin_strategy(const std::string& name) {
+  if (name == "honest") return std::make_unique<ReleaseImmediatelyStrategy>();
+  if (name == "never-release") {
+    return std::make_unique<NeverReleaseStrategy>();
+  }
+  throw support::InvalidArgument("unknown builtin strategy: " + name +
+                                 " (expected honest | never-release)");
+}
+
 }  // namespace sim

@@ -1,6 +1,9 @@
 // Ready-made strategies for the simulator.
 #pragma once
 
+#include <memory>
+#include <string>
+
 #include "mdp/markov_chain.hpp"
 #include "selfish/build.hpp"
 #include "sim/simulator.hpp"
@@ -39,5 +42,10 @@ class NeverReleaseStrategy : public Strategy {
  public:
   selfish::Action decide(const selfish::State& view) override;
 };
+
+/// Constructs one of the policy-free strategies by name: "honest"
+/// (ReleaseImmediately) or "never-release". Policy-backed strategies are
+/// built explicitly via MdpPolicyStrategy. Throws on an unknown name.
+std::unique_ptr<Strategy> make_builtin_strategy(const std::string& name);
 
 }  // namespace sim

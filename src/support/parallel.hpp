@@ -1,0 +1,61 @@
+// Minimal fixed-size thread pool and a parallel index loop.
+//
+// Used by the network batch runner (net/batch) and the bench harnesses to
+// fan independent simulation runs across cores. Jobs must not throw out of
+// the pool; wrap fallible work and record errors per job (parallel_for
+// rethrows the first captured exception on the calling thread).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace support {
+
+/// Number of worker threads to use for `requested`: positive values pass
+/// through, zero/negative mean "all hardware threads" (at least 1).
+int resolve_thread_count(int requested);
+
+/// A classic condition-variable work queue with `threads` workers. Workers
+/// start in the constructor and drain the queue until destruction.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a job. Jobs must be noexcept in effect: an escaping exception
+  /// terminates the process (std::terminate from the worker loop).
+  void submit(std::function<void()> job);
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void wait_idle();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+/// Runs fn(0..n-1) on up to `threads` workers (serially when threads <= 1
+/// or n == 1 — the fallback keeps single-thread runs allocation-free and
+/// trivially deterministic). Exceptions thrown by fn are captured; the
+/// first one (lowest index) is rethrown after all indices finish.
+void parallel_for(std::size_t n, int threads,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace support

@@ -81,4 +81,12 @@ std::size_t Rng::discrete(const std::vector<double>& weights) {
 
 Rng Rng::split() { return Rng(next_u64()); }
 
+Rng Rng::for_stream(std::uint64_t seed, std::uint64_t stream) {
+  std::uint64_t a = seed;
+  std::uint64_t b = stream ^ 0x6a09e667f3bcc909ULL;  // decorrelate stream 0
+  const std::uint64_t mixed_seed = splitmix64_next(a);
+  const std::uint64_t mixed_stream = splitmix64_next(b);
+  return Rng(mixed_seed ^ rotl(mixed_stream, 17));
+}
+
 }  // namespace support

@@ -40,6 +40,15 @@ class Rng {
   /// Splits off an independent generator (jump-free: reseed via output).
   Rng split();
 
+  /// Deterministic stream derivation: the generator for logical stream
+  /// `stream` under `seed`. Streams are pairwise independent for practical
+  /// purposes (both inputs pass through splitmix64 before mixing), and the
+  /// mapping is pure — the same (seed, stream) always yields the same
+  /// generator, regardless of call order or thread. The network simulator
+  /// gives every miner its own stream so event outcomes do not depend on
+  /// how many draws other miners consumed.
+  static Rng for_stream(std::uint64_t seed, std::uint64_t stream);
+
  private:
   std::uint64_t s_[4];
 };

@@ -1,0 +1,61 @@
+// Streaming sample statistics (Welford) for batch-run aggregation.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace support {
+
+/// Numerically stable running mean/variance accumulator. Merging two
+/// accumulators (operator+=) is exact up to floating-point rounding, so
+/// per-thread partials can be combined deterministically.
+class RunningStat {
+ public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+  }
+
+  RunningStat& operator+=(const RunningStat& other) {
+    if (other.count_ == 0) return *this;
+    if (count_ == 0) {
+      *this = other;
+      return *this;
+    }
+    const double n1 = static_cast<double>(count_);
+    const double n2 = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    mean_ += delta * n2 / (n1 + n2);
+    m2_ += other.m2_ + delta * delta * n1 * n2 / (n1 + n2);
+    count_ += other.count_;
+    return *this;
+  }
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return mean_; }
+
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+  /// Standard error of the mean; 0 for fewer than two samples.
+  double stderror() const {
+    return count_ < 2 ? 0.0
+                      : stddev() / std::sqrt(static_cast<double>(count_));
+  }
+
+  /// Half-width of the normal-approximation 95% confidence interval on the
+  /// mean (1.96 standard errors; adequate for the >= 8 seeds batches use).
+  double ci95_halfwidth() const { return 1.96 * stderror(); }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace support

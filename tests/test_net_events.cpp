@@ -1,0 +1,187 @@
+// Unit tests for the network simulator's building blocks: event queue
+// ordering, the block arena, topologies, RNG streams, the thread pool,
+// and the running-statistics accumulator.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "net/event.hpp"
+#include "net/topology.hpp"
+#include "support/parallel.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace {
+
+TEST(EventQueue, OrdersByTime) {
+  net::EventQueue queue;
+  for (const double t : {3.0, 1.0, 2.0}) {
+    net::Event e;
+    e.time = t;
+    queue.push(e);
+  }
+  EXPECT_EQ(queue.pop().time, 1.0);
+  EXPECT_EQ(queue.pop().time, 2.0);
+  EXPECT_EQ(queue.pop().time, 3.0);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, EqualTimesPopInPushOrder) {
+  net::EventQueue queue;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    net::Event e;
+    e.time = 7.5;
+    e.node = i;
+    queue.push(e);
+  }
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(queue.pop().node, i);
+  }
+}
+
+TEST(EventQueue, SequenceSurvivesInterleavedPushPop) {
+  net::EventQueue queue;
+  net::Event e;
+  e.time = 1.0;
+  e.node = 1;
+  queue.push(e);
+  e.node = 2;
+  queue.push(e);
+  EXPECT_EQ(queue.pop().node, 1u);
+  e.node = 3;
+  queue.push(e);  // same time, pushed later: must pop after node 2
+  EXPECT_EQ(queue.pop().node, 2u);
+  EXPECT_EQ(queue.pop().node, 3u);
+}
+
+TEST(BlockArena, HeightsAndAncestry) {
+  net::BlockArena arena;
+  const auto a = arena.add(net::kGenesis, 0);
+  const auto b = arena.add(a, 1);
+  const auto c = arena.add(b, 0);
+  const auto fork = arena.add(a, 2);  // sibling of b
+  EXPECT_EQ(arena.height(c), 3u);
+  EXPECT_EQ(arena.ancestor_at(c, 1), a);
+  EXPECT_EQ(arena.ancestor_at(c, 2), b);
+  EXPECT_EQ(arena.ancestor_at(c, 0), net::kGenesis);
+  EXPECT_EQ(arena.ancestor_at(fork, 1), a);
+  EXPECT_NE(arena.ancestor_at(fork, 2), b);  // fork itself, not b
+}
+
+TEST(BlockArena, RejectsUnknownParent) {
+  net::BlockArena arena;
+  EXPECT_THROW(arena.add(42, 0), support::InvalidArgument);
+}
+
+TEST(Topology, UniformHasZeroDiagonal) {
+  const auto t = net::Topology::uniform(4, 2.5);
+  for (net::NodeId i = 0; i < 4; ++i) {
+    for (net::NodeId j = 0; j < 4; ++j) {
+      EXPECT_EQ(t.delay(i, j), i == j ? 0.0 : 2.5);
+    }
+  }
+  EXPECT_EQ(t.max_delay(), 2.5);
+}
+
+TEST(Topology, StarSumsSpokes) {
+  const auto t = net::Topology::star({0.0, 1.0, 3.0});
+  EXPECT_EQ(t.delay(0, 1), 1.0);
+  EXPECT_EQ(t.delay(1, 2), 4.0);
+  EXPECT_EQ(t.delay(2, 1), 4.0);
+  EXPECT_EQ(t.delay(0, 0), 0.0);
+  EXPECT_EQ(t.max_delay(), 4.0);
+}
+
+TEST(Topology, MatrixRoundTrips) {
+  const auto t = net::Topology::from_matrix({{0, 1}, {2, 0}});
+  EXPECT_EQ(t.delay(0, 1), 1.0);
+  EXPECT_EQ(t.delay(1, 0), 2.0);
+}
+
+TEST(RngStreams, PureAndOrderIndependent) {
+  support::Rng a = support::Rng::for_stream(99, 3);
+  support::Rng b = support::Rng::for_stream(99, 3);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngStreams, DistinctStreamsDecorrelated) {
+  support::Rng a = support::Rng::for_stream(99, 0);
+  support::Rng b = support::Rng::for_stream(99, 1);
+  support::Rng c = support::Rng::for_stream(100, 0);
+  int same_ab = 0, same_ac = 0;
+  for (int i = 0; i < 64; ++i) {
+    const auto x = a.next_u64();
+    same_ab += (x == b.next_u64());
+    same_ac += (x == c.next_u64());
+  }
+  EXPECT_LT(same_ab, 2);
+  EXPECT_LT(same_ac, 2);
+}
+
+TEST(ThreadPool, RunsAllJobs) {
+  std::atomic<int> count{0};
+  {
+    support::ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&] { count.fetch_add(1); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 100);
+  }
+}
+
+TEST(ParallelFor, CoversEveryIndexOnce) {
+  std::vector<std::atomic<int>> hits(257);
+  support::parallel_for(hits.size(), 4,
+                        [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, SerialFallbackMatches) {
+  std::vector<int> serial(64), parallel(64);
+  support::parallel_for(64, 1, [&](std::size_t i) {
+    serial[i] = static_cast<int>(i * i);
+  });
+  support::parallel_for(64, 8, [&](std::size_t i) {
+    parallel[i] = static_cast<int>(i * i);
+  });
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  EXPECT_THROW(
+      support::parallel_for(16, 4,
+                            [](std::size_t i) {
+                              if (i == 7) {
+                                throw support::InvalidArgument("boom");
+                              }
+                            }),
+      support::InvalidArgument);
+}
+
+TEST(RunningStat, MeanAndVariance) {
+  support::RunningStat stat;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stat.add(x);
+  }
+  EXPECT_NEAR(stat.mean(), 5.0, 1e-12);
+  EXPECT_NEAR(stat.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_GT(stat.ci95_halfwidth(), 0.0);
+}
+
+TEST(RunningStat, MergeMatchesSequential) {
+  support::RunningStat whole, left, right;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10.0;
+    whole.add(x);
+    (i < 37 ? left : right).add(x);
+  }
+  left += right;
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-10);
+}
+
+}  // namespace

@@ -1,0 +1,178 @@
+// Behavioral tests of the network simulator: deterministic replay,
+// honest-revenue proportionality, SM1 against the Eyal–Sirer closed form,
+// effective-gamma measurement, and delay effects.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/eyal_sirer.hpp"
+#include "net/network.hpp"
+#include "net/scenario.hpp"
+
+namespace {
+
+net::NetworkResult run_family(const char* family,
+                              const net::ScenarioOptions& options,
+                              std::uint64_t seed, std::size_t point = 0) {
+  const auto grid = net::make_scenarios(family, options);
+  return net::run_scenario(net::prepare_scenario(grid[point]), seed);
+}
+
+TEST(NetworkSim, DeterministicForSameSeed) {
+  net::ScenarioOptions options;
+  options.blocks = 5'000;
+  const auto a = run_family("single-sm1", options, 77);
+  const auto b = run_family("single-sm1", options, 77);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.tip_height, b.tip_height);
+  EXPECT_EQ(a.canonical, b.canonical);
+  EXPECT_EQ(a.races, b.races);
+  EXPECT_EQ(a.sim_time, b.sim_time);
+}
+
+TEST(NetworkSim, DifferentSeedsDiffer) {
+  net::ScenarioOptions options;
+  options.blocks = 5'000;
+  const auto a = run_family("single-sm1", options, 1);
+  const auto b = run_family("single-sm1", options, 2);
+  EXPECT_NE(a.sim_time, b.sim_time);
+}
+
+TEST(NetworkSim, HonestOnlyRevenueTracksHashrate) {
+  net::ScenarioOptions options;
+  options.blocks = 60'000;
+  options.honest_miners = 3;  // weights 3:2:1
+  const auto result = run_family("honest-uniform", options, 5);
+  ASSERT_EQ(result.canonical.size(), 3u);
+  EXPECT_GT(result.counted, 50'000u);
+  EXPECT_NEAR(result.share(0), 3.0 / 6.0, 0.01);
+  EXPECT_NEAR(result.share(1), 2.0 / 6.0, 0.01);
+  EXPECT_NEAR(result.share(2), 1.0 / 6.0, 0.01);
+}
+
+TEST(NetworkSim, HonestZeroDelayHasNoStaleBlocks) {
+  net::ScenarioOptions options;
+  options.blocks = 10'000;
+  const auto result = run_family("honest-uniform", options, 9);
+  // Sequential honest mining at zero delay orphans nothing.
+  EXPECT_EQ(result.stale_rate(), 0.0);
+  EXPECT_EQ(result.races, 0u);
+}
+
+TEST(NetworkSim, HonestDelayCreatesStaleBlocks) {
+  net::ScenarioOptions options;
+  options.blocks = 20'000;
+  options.delay = 0.05 * options.block_interval;
+  const auto result = run_family("honest-uniform", options, 9);
+  EXPECT_GT(result.stale_rate(), 0.0);
+  // Natural forks stay rare at a 5% delay-to-interval ratio.
+  EXPECT_LT(result.stale_rate(), 0.2);
+}
+
+double sm1_network_share(double p, double gamma, std::uint64_t seed) {
+  net::ScenarioOptions options;
+  options.p = p;
+  options.gamma = gamma;
+  options.blocks = 150'000;
+  const auto result = run_family("single-sm1", options, seed);
+  return result.share(0);  // the attacker is miner 0
+}
+
+TEST(NetworkSim, Sm1MatchesEyalSirerClosedForm) {
+  // Zero delay + per-miner gamma ties is exactly the ES race model, so
+  // the network revenue must converge to the closed form.
+  for (const double gamma : {0.0, 0.5, 1.0}) {
+    const double closed = baselines::eyal_sirer_revenue({0.3, gamma});
+    const double simulated = sm1_network_share(0.3, gamma, 4242);
+    EXPECT_NEAR(simulated, closed, 0.012)
+        << "gamma=" << gamma;
+  }
+}
+
+TEST(NetworkSim, Sm1BelowThresholdEarnsLessThanHashrate) {
+  // p = 0.15 < (1-gamma)/(3-2gamma) = 0.25 at gamma 0: selfish mining
+  // strictly loses revenue.
+  const double share = sm1_network_share(0.15, 0.0, 11);
+  EXPECT_LT(share, 0.15);
+  EXPECT_GT(share, 0.05);
+}
+
+TEST(NetworkSim, EffectiveGammaTracksConfiguredGamma) {
+  for (const double gamma : {0.0, 0.25, 0.75}) {
+    net::ScenarioOptions options;
+    options.gamma = gamma;
+    options.blocks = 120'000;
+    const auto result = run_family("single-sm1", options, 31);
+    if (gamma == 0.0) {
+      EXPECT_EQ(result.races_challenger_won, 0u);
+    } else {
+      ASSERT_GT(result.races_resolved, 500u);
+      EXPECT_NEAR(result.effective_gamma(), gamma, 0.05) << "gamma=" << gamma;
+    }
+  }
+}
+
+TEST(NetworkSim, StrategyMinerHonestStrategyEarnsHashrate) {
+  net::ScenarioOptions options;
+  options.blocks = 60'000;
+  options.strategy = "honest";
+  options.gamma = 0.5;
+  const auto result = run_family("single-optimal", options, 17);
+  EXPECT_NEAR(result.share(0), 0.3, 0.015);
+}
+
+TEST(NetworkSim, StrategyMinerNeverReleaseEarnsNothing) {
+  net::ScenarioOptions options;
+  options.blocks = 20'000;
+  options.strategy = "never-release";
+  const auto result = run_family("single-optimal", options, 17);
+  EXPECT_EQ(result.share(0), 0.0);
+  // It still wastes its hashrate mining private forks, and once every
+  // fork is capped at l the surplus proofs are discarded outright.
+  EXPECT_GT(result.mined[0], 4'000u);
+  // Waste is modest: capped forks are pruned once the honest chain
+  // outgrows the depth-d window, freeing the lane for a fresh fork.
+  EXPECT_GT(result.wasted[0], 100u);
+  EXPECT_EQ(result.wasted[1], 0u);  // honest miners never waste
+}
+
+TEST(NetworkSim, TwoAttackersSplitRevenue) {
+  net::ScenarioOptions options;
+  options.p = 0.2;
+  options.blocks = 60'000;
+  const auto result = run_family("two-sm1", options, 23);
+  // Symmetric attackers: neither dominates.
+  EXPECT_NEAR(result.share(0), result.share(1), 0.05);
+}
+
+TEST(NetworkSim, RejectsMismatchedTopology) {
+  net::NetworkConfig config;
+  config.topology = net::Topology::uniform(2, 0.0);
+  std::vector<net::MinerSetup> miners;
+  net::MinerSetup setup;
+  setup.agent = net::make_honest_miner(net::TiePolicy::kFirstSeen, 0.0);
+  setup.weight = 1.0;
+  miners.push_back(std::move(setup));
+  EXPECT_THROW(net::run_network(config, std::move(miners)),
+               support::InvalidArgument);
+}
+
+TEST(ScenarioRegistry, AllFamiliesExpandAndRun) {
+  net::ScenarioOptions options;
+  options.p = 0.25;
+  options.blocks = 2'000;
+  for (const std::string& name : net::scenario_names()) {
+    const auto grid = net::make_scenarios(name, options);
+    ASSERT_FALSE(grid.empty()) << name;
+    const auto result =
+        net::run_scenario(net::prepare_scenario(grid[0]), 3);
+    EXPECT_GT(result.tip_height, 0u) << name;
+  }
+}
+
+TEST(ScenarioRegistry, UnknownNameThrows) {
+  EXPECT_THROW(net::make_scenarios("no-such-scenario", {}),
+               support::InvalidArgument);
+}
+
+}  // namespace

@@ -4,6 +4,7 @@
 //   selfish-mining sweep     --gamma=0.5 --d=2 --f=2 --pmax=0.3 --step=0.05
 //   selfish-mining threshold --gamma=0.5 --d=2 --f=2
 //   selfish-mining simulate  --p=0.3 --gamma=0.5 --d=2 --f=2 --steps=500000
+//   selfish-mining network   --scenario=single-optimal --runs=8 --threads=0
 //   selfish-mining export    --p=0.3 --gamma=0.5 --d=2 --f=1 --prefix=out
 //   selfish-mining baselines --p=0.3 --gamma=0.5
 //
@@ -24,6 +25,8 @@
 #include "baselines/honest.hpp"
 #include "baselines/single_tree.hpp"
 #include "mdp/export.hpp"
+#include "net/batch.hpp"
+#include "net/scenario.hpp"
 #include "selfish/build.hpp"
 #include "selfish/cache.hpp"
 #include "sim/strategies.hpp"
@@ -207,14 +210,10 @@ int cmd_simulate(int argc, const char* const* argv) {
   if (which == "optimal") {
     policy = analysis::analyze(model, analysis_from(options)).policy;
     strategy = std::make_unique<sim::MdpPolicyStrategy>(model, policy);
-  } else if (which == "honest") {
-    strategy = std::make_unique<sim::ReleaseImmediatelyStrategy>();
-  } else if (which == "never-release") {
-    strategy = std::make_unique<sim::NeverReleaseStrategy>();
+  } else if (which == "honest" || which == "never-release") {
+    strategy = sim::make_builtin_strategy(which);
   } else {
-    std::ifstream in(which);
-    SM_REQUIRE(in.good(), "cannot open strategy file: ", which);
-    policy = analysis::load_strategy(model, in);
+    policy = analysis::load_strategy_file(model, which);
     strategy = std::make_unique<sim::MdpPolicyStrategy>(model, policy);
   }
 
@@ -241,6 +240,84 @@ int cmd_simulate(int argc, const char* const* argv) {
     std::printf("(mu, l=%zu)-chain quality: worst %.3f, average %.3f\n",
                 window, quality.worst, quality.average);
   }
+  return 0;
+}
+
+int cmd_network(int argc, const char* const* argv) {
+  support::Options options;
+  options.declare("help", "false", "show this command's options");
+  options.declare("scenario", "single-optimal",
+                  "scenario family to run; see --help for the registry");
+  options.declare("p", "0.3", "attacker hashrate share");
+  options.declare("gamma", "0.5", "tie-race parameter");
+  options.declare("delay", "0", "one-way propagation delay (seconds)");
+  options.declare("interval", "600", "mean block interval (seconds)");
+  options.declare("blocks", "100000", "mining events per run");
+  options.declare("honest", "3", "honest miners sharing the honest power");
+  options.declare("d", "2", "attack depth (strategy attackers)");
+  options.declare("f", "1", "forks per public block (strategy attackers)");
+  options.declare("l", "4", "maximal fork length (strategy attackers)");
+  options.declare("strategy", "optimal",
+                  "strategy of kStrategy attackers: optimal | honest | "
+                  "never-release | file:<path>");
+  options.declare("epsilon", "0.001", "Algorithm 1 precision");
+  options.declare("runs", "8", "seeds per scenario point");
+  options.declare("threads", "0", "worker threads (0 = all cores)");
+  options.declare("seed", "24141", "base seed of the batch");
+  options.declare("csv", "false", "emit CSV instead of a table");
+  if (!parse_or_help(options, argc, argv)) {
+    std::fputs(("\nscenario families:\n" + net::scenario_help()).c_str(),
+               stderr);
+    return 0;
+  }
+
+  const int blocks = options.get_int("blocks");
+  SM_REQUIRE(blocks > 0, "--blocks must be positive, got ", blocks);
+
+  net::ScenarioOptions scenario_options;
+  scenario_options.p = options.get_double("p");
+  scenario_options.gamma = options.get_double("gamma");
+  scenario_options.delay = options.get_double("delay");
+  scenario_options.block_interval = options.get_double("interval");
+  scenario_options.blocks = static_cast<std::uint64_t>(blocks);
+  scenario_options.honest_miners = options.get_int("honest");
+  scenario_options.d = options.get_int("d");
+  scenario_options.f = options.get_int("f");
+  scenario_options.l = options.get_int("l");
+  scenario_options.strategy = options.get_string("strategy");
+
+  net::BatchOptions batch_options;
+  batch_options.runs_per_scenario = options.get_int("runs");
+  batch_options.threads = options.get_int("threads");
+  batch_options.base_seed = static_cast<std::uint64_t>(options.get_int("seed"));
+  batch_options.epsilon = options.get_double("epsilon");
+
+  const auto grid =
+      net::make_scenarios(options.get_string("scenario"), scenario_options);
+  const auto aggregates = net::run_batch(grid, batch_options);
+
+  if (options.get_bool("csv")) {
+    net::write_batch_csv(aggregates, std::cout);
+    return 0;
+  }
+  support::Table table({"scenario", "variant", "attacker share", "ci95",
+                        "stale rate", "eff. gamma", "predicted ERRev",
+                        "races"});
+  for (const auto& agg : aggregates) {
+    table.add_row(
+        {agg.name, agg.variant,
+         support::format_double(agg.attacker_share.mean(), 5),
+         support::format_double(agg.attacker_share.ci95_halfwidth(), 5),
+         support::format_double(agg.stale_rate.mean(), 4),
+         agg.effective_gamma.count() == 0
+             ? "-"
+             : support::format_double(agg.effective_gamma.mean(), 4),
+         agg.predicted_errev == agg.predicted_errev
+             ? support::format_double(agg.predicted_errev, 5)
+             : "-",
+         std::to_string(agg.total_races)});
+  }
+  table.print(std::cout);
   return 0;
 }
 
@@ -344,6 +421,8 @@ void print_usage() {
       "  sweep      ERRev over a resource grid (CSV)\n"
       "  threshold  locate the profitability frontier in p\n"
       "  simulate   execute a strategy in the Monte-Carlo simulator\n"
+      "  network    discrete-event multi-miner network simulation "
+      "(scenario x seed batches)\n"
       "  export     write the MDP in Storm explicit format\n"
       "  upper-bound certified and extrapolated bounds across fork caps\n"
       "  baselines  baseline revenues for (p, gamma)\n\n"
@@ -366,6 +445,7 @@ int main(int argc, char** argv) {
     if (command == "sweep") return cmd_sweep(sub_argc, sub_argv);
     if (command == "threshold") return cmd_threshold(sub_argc, sub_argv);
     if (command == "simulate") return cmd_simulate(sub_argc, sub_argv);
+    if (command == "network") return cmd_network(sub_argc, sub_argv);
     if (command == "export") return cmd_export(sub_argc, sub_argv);
     if (command == "upper-bound") return cmd_upper_bound(sub_argc, sub_argv);
     if (command == "baselines") return cmd_baselines(sub_argc, sub_argv);
