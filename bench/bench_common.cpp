@@ -32,8 +32,36 @@ support::Options standard_options(int argc, const char* const* argv,
   options.declare("threads", "0",
                   "worker threads for parallel harness stages (0 = all "
                   "cores); also via SELFISH_THREADS");
+  options.declare("cache-dir", "",
+                  "experiment-engine result store shared by the analysis "
+                  "grids (reruns are served from cache); also via "
+                  "SELFISH_CACHE_DIR");
   options.parse(argc, argv);
   return options;
+}
+
+engine::EngineOptions engine_options(const support::Options& options) {
+  engine::EngineOptions engine_options;
+  engine_options.cache_dir = options.get_string("cache-dir");
+  engine_options.threads = options.get_int("threads");
+  return engine_options;
+}
+
+std::vector<engine::AnalysisJob> sweep_grid_jobs(
+    const std::vector<SweepSeries>& series, const std::vector<double>& ps,
+    const analysis::AnalysisOptions& options) {
+  std::vector<engine::AnalysisJob> jobs;
+  jobs.reserve(series.size() * ps.size());
+  for (const SweepSeries& s : series) {
+    for (const double p : ps) {
+      engine::AnalysisJob job;
+      job.params = selfish::AttackParams{
+          .p = p, .gamma = s.gamma, .d = s.d, .f = s.f, .l = 4};
+      job.options = options;
+      jobs.push_back(job);
+    }
+  }
+  return jobs;
 }
 
 int thread_count(const support::Options& options) {

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "engine/engine.hpp"
 #include "selfish/params.hpp"
 #include "support/options.hpp"
 
@@ -23,10 +24,27 @@ std::vector<double> gamma_grid();
 std::vector<double> resource_grid(bool full);
 
 /// Declares the options shared by all harnesses (--full, --epsilon,
-/// --solver, --threads) and parses argv (with SELFISH_* environment
-/// defaults).
+/// --solver, --threads, --cache-dir) and parses argv (with SELFISH_*
+/// environment defaults).
 support::Options standard_options(int argc, const char* const* argv,
                                   const std::string& extra_help = "");
+
+/// Experiment-engine configuration from the shared options: --threads
+/// drives the chain fan-out, --cache-dir the result store.
+engine::EngineOptions engine_options(const support::Options& options);
+
+/// One warm-start chain of a p-sweep grid: a (γ, d, f) series.
+struct SweepSeries {
+  double gamma = 0.5;
+  int d = 1, f = 1;
+};
+
+/// Expands series × ps into engine jobs, series-major: the job of
+/// series s at ps[i] lands at index s * ps.size() + i of the batch (and
+/// of the outcomes engine.run returns for it).
+std::vector<engine::AnalysisJob> sweep_grid_jobs(
+    const std::vector<SweepSeries>& series, const std::vector<double>& ps,
+    const analysis::AnalysisOptions& options);
 
 /// Resolves the shared --threads option (0 = all hardware threads) into a
 /// concrete worker count.

@@ -3,16 +3,22 @@
 // with the honest and single-tree baselines alongside each attack
 // configuration (d, f).
 //
+// The whole grid — every (γ, d, f) series × every p — is submitted to the
+// experiment engine as one batch: each series is a warm-start chain (the
+// p-points seed each other's value iteration, as always), and the chains
+// fan out across --threads workers. With --cache-dir, reruns are served
+// from the content-addressed store.
+//
 // Output: one CSV block per panel (easy to plot or diff), followed by the
 // qualitative checks the paper highlights.
 #include <cstdio>
 #include <iostream>
 
-#include "analysis/sweep.hpp"
 #include "baselines/honest.hpp"
 #include "baselines/single_tree.hpp"
 #include "bench_common.hpp"
 #include "support/csv.hpp"
+#include "support/timer.hpp"
 
 int main(int argc, char** argv) {
   const auto options = bench::standard_options(argc, argv);
@@ -31,25 +37,34 @@ int main(int argc, char** argv) {
   const auto all_configs = bench::attack_configs(full);
   const auto ps = bench::resource_grid(full);
 
+  std::vector<bench::SweepSeries> series;
+  for (const double gamma : bench::gamma_grid()) {
+    for (const auto& [d, f] : all_configs) {
+      if (!full && d >= 3 && gamma != 0.5) continue;  // keep defaults quick
+      series.push_back(bench::SweepSeries{gamma, d, f});
+    }
+  }
+
+  // One engine batch for the whole figure: jobs [series × p], planned into
+  // one warm-start chain per series.
+  const auto jobs = bench::sweep_grid_jobs(series, ps, analysis_options);
+  engine::Engine engine(bench::engine_options(options));
+  const support::Timer timer;
+  const auto outcomes = engine.run(jobs);
+  const double wall = timer.seconds();
+
   for (const double gamma : bench::gamma_grid()) {
     std::printf("--- panel gamma = %.2f ---\n", gamma);
     support::CsvWriter csv(std::cout);
     std::vector<std::string> header{"p", "honest", "single_tree"};
-    std::vector<std::pair<int, int>> configs;
-    for (const auto& [d, f] : all_configs) {
-      if (!full && d >= 3 && gamma != 0.5) continue;  // keep defaults quick
-      configs.emplace_back(d, f);
-      header.push_back("ours_d" + std::to_string(d) + "_f" +
-                       std::to_string(f));
+    std::vector<std::size_t> panel;  // indices into `series`
+    for (std::size_t s = 0; s < series.size(); ++s) {
+      if (series[s].gamma != gamma) continue;
+      panel.push_back(s);
+      header.push_back("ours_d" + std::to_string(series[s].d) + "_f" +
+                       std::to_string(series[s].f));
     }
     csv.header(header);
-
-    // Sweep every configuration over p (warm-started), then emit by rows.
-    std::vector<analysis::SweepResult> sweeps;
-    for (const auto& [d, f] : configs) {
-      selfish::AttackParams base{.p = 0.0, .gamma = gamma, .d = d, .f = f, .l = 4};
-      sweeps.push_back(analysis::sweep_p(base, ps, analysis_options));
-    }
 
     for (std::size_t row = 0; row < ps.size(); ++row) {
       std::vector<double> cells;
@@ -60,14 +75,25 @@ int main(int argc, char** argv) {
               baselines::SingleTreeParams{.p = ps[row], .gamma = gamma,
                                           .max_depth = 4, .max_width = 5})
               .errev);
-      for (const auto& sweep : sweeps) {
-        cells.push_back(sweep.points[row].errev_of_policy);
+      for (const std::size_t s : panel) {
+        cells.push_back(
+            outcomes[s * ps.size() + row].result.errev_of_policy);
       }
       csv.row_numeric(cells, 6);
     }
     std::printf("\n");
     std::fflush(stdout);
   }
+
+  std::size_t cached = 0;
+  double solve_seconds = 0.0;
+  for (const auto& outcome : outcomes) {
+    cached += outcome.cached ? 1 : 0;
+    solve_seconds += outcome.result.seconds;
+  }
+  std::printf("engine: %zu grid points in %zu chains, %zu from cache; "
+              "%.2f s solve time in %.2f s wall\n\n",
+              outcomes.size(), series.size(), cached, solve_seconds, wall);
 
   std::printf(
       "Reading guide (paper takeaways): our attack lies above both\n"

@@ -1,6 +1,12 @@
 #include "analysis/sweep.hpp"
 
+#include <ostream>
+
+#include "baselines/honest.hpp"
+#include "baselines/single_tree.hpp"
+#include "engine/engine.hpp"
 #include "support/check.hpp"
+#include "support/csv.hpp"
 #include "support/timer.hpp"
 
 namespace analysis {
@@ -19,7 +25,47 @@ std::vector<double> linspace_grid(double lo, double hi, double step) {
 
 SweepResult sweep_p(const selfish::AttackParams& base,
                     const std::vector<double>& ps,
+                    const AnalysisOptions& options, engine::Engine& engine) {
+  std::vector<engine::AnalysisJob> jobs;
+  jobs.reserve(ps.size());
+  for (const double p : ps) {
+    engine::AnalysisJob job;
+    job.params = base;
+    job.params.p = p;
+    job.options = options;
+    jobs.push_back(job);
+  }
+  const std::vector<engine::JobOutcome> outcomes = engine.run(jobs);
+
+  SweepResult result;
+  result.base = base;
+  result.points.reserve(ps.size());
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    const engine::StoredResult& stored = outcomes[i].result;
+    SweepPoint point;
+    point.p = ps[i];
+    point.errev = stored.errev_lower_bound;
+    point.errev_of_policy = stored.errev_of_policy;
+    point.seconds = stored.seconds;
+    point.num_states = static_cast<std::size_t>(stored.num_states);
+    point.search_iterations = stored.search_iterations;
+    point.solver_iterations = static_cast<long>(stored.solver_iterations);
+    point.cached = outcomes[i].cached;
+    result.points.push_back(point);
+  }
+  return result;
+}
+
+SweepResult sweep_p(const selfish::AttackParams& base,
+                    const std::vector<double>& ps,
                     const AnalysisOptions& options) {
+  engine::Engine engine{engine::EngineOptions{}};
+  return sweep_p(base, ps, options, engine);
+}
+
+SweepResult sweep_p_sequential(const selfish::AttackParams& base,
+                               const std::vector<double>& ps,
+                               const AnalysisOptions& options) {
   SweepResult result;
   result.base = base;
   result.points.reserve(ps.size());
@@ -42,9 +88,34 @@ SweepResult sweep_p(const selfish::AttackParams& base,
     point.errev_of_policy = analysis.errev_of_policy;
     point.seconds = timer.seconds();
     point.num_states = model.mdp.num_states();
+    point.search_iterations = analysis.search_iterations;
+    point.solver_iterations = analysis.solver_iterations;
     result.points.push_back(point);
   }
   return result;
+}
+
+void write_sweep_csv(const SweepResult& sweep, std::ostream& out) {
+  support::CsvWriter csv(out);
+  csv.header({"p", "errev_lower_bound", "errev_of_strategy", "honest",
+              "single_tree", "states", "search_steps", "solver_iterations"});
+  for (const SweepPoint& point : sweep.points) {
+    const double tree =
+        baselines::analyze_single_tree(
+            baselines::SingleTreeParams{.p = point.p,
+                                        .gamma = sweep.base.gamma,
+                                        .max_depth = 4,
+                                        .max_width = 5})
+            .errev;
+    csv.row({support::format_double(point.p, 6),
+             support::format_double(point.errev, 6),
+             support::format_double(point.errev_of_policy, 6),
+             support::format_double(baselines::honest_errev(point.p), 6),
+             support::format_double(tree, 6),
+             std::to_string(point.num_states),
+             std::to_string(point.search_iterations),
+             std::to_string(point.solver_iterations)});
+  }
 }
 
 }  // namespace analysis

@@ -1,0 +1,141 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "analysis/algorithm1.hpp"
+#include "support/check.hpp"
+#include "support/parallel.hpp"
+#include "support/timer.hpp"
+
+namespace engine {
+
+namespace {
+
+/// One deduplicated execution slot of the plan.
+struct Slot {
+  AnalysisJob job;
+  JobKey key;
+  bool has_successor = false;  ///< A later chain point needs our values.
+};
+
+StoredResult to_stored(const analysis::AnalysisResult& analysis,
+                       std::uint64_t num_states, double seconds,
+                       bool store_values) {
+  StoredResult stored;
+  stored.errev_lower_bound = analysis.errev_lower_bound;
+  stored.beta_lo = analysis.beta_lo;
+  stored.beta_hi = analysis.beta_hi;
+  stored.errev_of_policy = analysis.errev_of_policy;
+  stored.seconds = seconds;
+  stored.search_iterations = analysis.search_iterations;
+  stored.solver_iterations = analysis.solver_iterations;
+  stored.num_states = num_states;
+  stored.policy = analysis.policy;
+  if (store_values) stored.values = analysis.final_values;
+  return stored;
+}
+
+}  // namespace
+
+Engine::Engine(EngineOptions options)
+    : options_(std::move(options)), store_(options_.cache_dir) {}
+
+std::vector<JobOutcome> Engine::run(const std::vector<AnalysisJob>& jobs,
+                                    bool keep_models) const {
+  // ---- Plan: group into warm-start chains, dedupe, derive keys. The
+  // plan depends only on the job list (groups in chain-id order, points
+  // in ascending p), never on thread count.
+  std::map<std::string, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].params.validate();
+    groups[analysis_chain_id(jobs[i])].push_back(i);
+  }
+
+  std::vector<Slot> slots;
+  std::vector<std::vector<std::size_t>> chains;
+  std::vector<std::size_t> slot_of_input(jobs.size(), 0);
+  for (auto& [chain_id, inputs] : groups) {
+    std::stable_sort(inputs.begin(), inputs.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return jobs[a].params.p < jobs[b].params.p;
+                     });
+    std::vector<std::size_t> chain;
+    for (const std::size_t input : inputs) {
+      if (!chain.empty() &&
+          jobs[input].params.p == slots[chain.back()].job.params.p) {
+        slot_of_input[input] = chain.back();  // exact duplicate job
+        continue;
+      }
+      Slot slot;
+      slot.job = jobs[input];
+      slot.key = analysis_job_key(
+          slot.job, chain.empty() ? nullptr : &slots[chain.back()].key);
+      if (!chain.empty()) slots[chain.back()].has_successor = true;
+      slot_of_input[input] = slots.size();
+      chain.push_back(slots.size());
+      slots.push_back(std::move(slot));
+    }
+    chains.push_back(std::move(chain));
+  }
+
+  // ---- Execute: chains fan out on the pool; each chain runs its points
+  // in order so final values seed the next solve.
+  std::vector<JobOutcome> by_slot(slots.size());
+  support::parallel_for(
+      chains.size(), options_.threads, [&](std::size_t c) {
+        std::vector<double> warm;
+        for (const std::size_t s : chains[c]) {
+          const Slot& slot = slots[s];
+          JobOutcome& out = by_slot[s];
+          std::optional<StoredResult> hit = store_.load(slot.key);
+          std::shared_ptr<const selfish::SelfishModel> model;
+          // A hit that lacks stored values cannot seed its successor; the
+          // point is re-solved (determinism makes the numbers identical)
+          // purely to regain the value vector — and counts as a miss.
+          if (hit.has_value() &&
+              (!slot.has_successor || !hit->values.empty())) {
+            out.result = std::move(*hit);
+            out.cached = true;
+            // Take the values as this chain's warm seed; outcomes carry
+            // none (peak memory stays O(threads × state space), not
+            // O(grid points)).
+            warm = std::move(out.result.values);
+            out.result.values = std::vector<double>();
+          } else {
+            const support::Timer timer;
+            auto built = std::make_shared<selfish::SelfishModel>(
+                selfish::build_model(slot.job.params));
+            analysis::AnalysisResult analysis = analysis::analyze(
+                *built, slot.job.options, warm.empty() ? nullptr : &warm);
+            StoredResult stored =
+                to_stored(analysis, built->mdp.num_states(), timer.seconds(),
+                          options_.store_values);
+            store_.store(slot.key, stored);
+            model = std::move(built);
+            warm = std::move(analysis.final_values);
+            stored.values = std::vector<double>();  // persisted; not kept
+            out.result = std::move(stored);
+          }
+          if (keep_models) {
+            if (model == nullptr) {
+              model = std::make_shared<selfish::SelfishModel>(
+                  selfish::build_model(slot.job.params));
+              // Guard the replayed policy against a store entry produced
+              // by incompatible code (the salt should prevent this).
+              mdp::validate_policy(model->mdp, out.result.policy);
+            }
+            out.model = std::move(model);
+          }
+        }
+      });
+
+  std::vector<JobOutcome> outcomes(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    outcomes[i] = by_slot[slot_of_input[i]];
+  }
+  return outcomes;
+}
+
+}  // namespace engine

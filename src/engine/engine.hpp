@@ -1,0 +1,78 @@
+// The experiment engine: parallel, cached, resumable execution of
+// analysis-job batches.
+//
+// A batch goes through three stages:
+//
+//   1. Plan. Jobs are deduplicated and grouped into *warm-start chains*:
+//      points that differ only in the resource p, ordered by ascending p.
+//      Adjacent grid points have nearly identical value vectors, so each
+//      point seeds the next one's value iteration (the same trick
+//      analysis::sweep_p always used, now planned across an arbitrary
+//      batch). The chain structure — and hence every job's key, which
+//      records its warm-start lineage — is a pure function of the job
+//      list: results never depend on thread count or scheduling order.
+//   2. Execute. Chains fan out over a support::ThreadPool; each chain
+//      runs sequentially so values flow point to point. Completed jobs
+//      are persisted to the content-addressed ResultStore as they finish.
+//   3. Resume / replay. A later run of the same batch (or any batch
+//      sharing grid points *and* lineage) loads hits instead of solving —
+//      a killed sweep restarted with the same arguments recomputes only
+//      what is missing and reproduces the uninterrupted run's output
+//      byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/job.hpp"
+#include "engine/store.hpp"
+#include "selfish/build.hpp"
+
+namespace engine {
+
+struct EngineOptions {
+  /// Result-store directory; empty disables persistence (the batch still
+  /// plans chains and runs in parallel, it just cannot resume).
+  std::string cache_dir;
+  /// Worker threads for chain fan-out; <= 0 means all hardware threads.
+  int threads = 1;
+  /// Persist final value vectors in store entries. Required for a resumed
+  /// sweep to continue a chain bit-identically (the values are the next
+  /// point's warm start); turn off only to shrink huge-model caches —
+  /// points after a value-less hit are then transparently re-solved.
+  bool store_values = true;
+};
+
+/// The outcome of one batch job, in input order.
+struct JobOutcome {
+  /// result.values is always empty here: value vectors are warm-start
+  /// data internal to the engine (they stay in the store for resumes).
+  StoredResult result;
+  bool cached = false;  ///< Served from the store (not solved this run).
+  /// The built model, when the caller asked keep_models (rebuilt
+  /// deterministically on cache hits). Shared across duplicate jobs.
+  std::shared_ptr<const selfish::SelfishModel> model;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions options);
+
+  /// Plans and executes `jobs`, returning outcomes in input order.
+  /// Duplicate jobs are solved once and share an outcome. `keep_models`
+  /// additionally returns each job's built SelfishModel (needed by
+  /// callers that replay policies, e.g. the network batch runner).
+  std::vector<JobOutcome> run(const std::vector<AnalysisJob>& jobs,
+                              bool keep_models = false) const;
+
+  const EngineOptions& options() const { return options_; }
+  const ResultStore& store() const { return store_; }
+
+ private:
+  EngineOptions options_;
+  ResultStore store_;
+};
+
+}  // namespace engine

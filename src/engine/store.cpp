@@ -1,0 +1,196 @@
+#include "engine/store.hpp"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include <unistd.h>
+
+namespace engine {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x53454c5245533031ULL;  // "SELRES01"
+constexpr std::uint64_t kMaxPayload = 1ULL << 32;        // sanity bound
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool read_pod(std::istream& in, T& value) {
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  return in.good();
+}
+
+template <typename T>
+void write_vector(std::ostream& out, const std::vector<T>& v) {
+  write_pod<std::uint64_t>(out, v.size());
+  if (!v.empty()) {
+    out.write(reinterpret_cast<const char*>(v.data()),
+              static_cast<std::streamsize>(v.size() * sizeof(T)));
+  }
+}
+
+template <typename T>
+bool read_vector(std::istream& in, std::vector<T>& v) {
+  std::uint64_t size = 0;
+  if (!read_pod(in, size)) return false;
+  // Never allocate more than the stream still holds (guards against a
+  // crafted length field; random corruption is caught by the checksum).
+  const std::streamsize avail = in.rdbuf()->in_avail();
+  if (avail < 0 || size > static_cast<std::uint64_t>(avail) / sizeof(T)) {
+    return false;
+  }
+  v.resize(size);
+  if (size > 0) {
+    in.read(reinterpret_cast<char*>(v.data()),
+            static_cast<std::streamsize>(size * sizeof(T)));
+    if (!in.good()) return false;
+  }
+  return true;
+}
+
+std::string encode_payload(const JobKey& key, const StoredResult& result) {
+  std::ostringstream out(std::ios::binary);
+  write_pod<std::uint64_t>(out, key.canonical.size());
+  out.write(key.canonical.data(),
+            static_cast<std::streamsize>(key.canonical.size()));
+  write_pod(out, result.errev_lower_bound);
+  write_pod(out, result.beta_lo);
+  write_pod(out, result.beta_hi);
+  write_pod(out, result.errev_of_policy);
+  write_pod(out, result.seconds);
+  write_pod(out, result.search_iterations);
+  write_pod(out, result.solver_iterations);
+  write_pod(out, result.num_states);
+  write_vector(out, result.policy);
+  write_vector(out, result.values);
+  return out.str();
+}
+
+bool decode_payload(const std::string& payload, const JobKey& key,
+                    StoredResult& result) {
+  std::istringstream in(payload, std::ios::binary);
+  std::uint64_t key_size = 0;
+  if (!read_pod(in, key_size) || key_size > payload.size()) return false;
+  std::string canonical(key_size, '\0');
+  in.read(canonical.data(), static_cast<std::streamsize>(key_size));
+  // The canonical key is the collision guard: a different key hashing to
+  // the same entry must not be served.
+  if (!in.good() || canonical != key.canonical) return false;
+  return read_pod(in, result.errev_lower_bound) &&
+         read_pod(in, result.beta_lo) && read_pod(in, result.beta_hi) &&
+         read_pod(in, result.errev_of_policy) &&
+         read_pod(in, result.seconds) &&
+         read_pod(in, result.search_iterations) &&
+         read_pod(in, result.solver_iterations) &&
+         read_pod(in, result.num_states) &&
+         read_vector(in, result.policy) && read_vector(in, result.values);
+}
+
+/// Journal appends interleave from many worker threads of one process.
+std::mutex& journal_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+}  // namespace
+
+ResultStore::ResultStore(std::string dir) : dir_(std::move(dir)) {}
+
+std::string ResultStore::entry_path(const JobKey& key) const {
+  const std::string hex = key.hex();
+  return dir_ + "/objects/" + hex.substr(0, 2) + "/" + hex + ".bin";
+}
+
+std::string ResultStore::journal_path() const {
+  return dir_ + "/journal.log";
+}
+
+std::optional<StoredResult> ResultStore::load(const JobKey& key) const {
+  if (!enabled()) return std::nullopt;
+  const std::string path = entry_path(key);
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return std::nullopt;
+
+  const auto reject = [&]() -> std::optional<StoredResult> {
+    in.close();
+    std::error_code ec;
+    std::filesystem::remove(path, ec);  // heal: recompute overwrites
+    return std::nullopt;
+  };
+
+  // A corrupted size field must reject cheaply, never allocate: bound the
+  // declared payload by what the file can actually hold (header 16 bytes
+  // + trailing 8-byte checksum).
+  std::error_code size_ec;
+  const std::uintmax_t file_size = std::filesystem::file_size(path, size_ec);
+  if (size_ec || file_size < 24 || file_size > kMaxPayload) return reject();
+
+  std::uint64_t magic = 0, payload_size = 0;
+  if (!read_pod(in, magic) || magic != kMagic) return reject();
+  if (!read_pod(in, payload_size) || payload_size > file_size - 24) {
+    return reject();
+  }
+  std::string payload(payload_size, '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(payload_size));
+  if (!in.good()) return reject();
+  std::uint64_t checksum = 0;
+  if (!read_pod(in, checksum) ||
+      checksum != fnv1a64(payload.data(), payload.size())) {
+    return reject();
+  }
+
+  StoredResult result;
+  if (!decode_payload(payload, key, result)) return reject();
+  return result;
+}
+
+void ResultStore::store(const JobKey& key, const StoredResult& result) const {
+  if (!enabled()) return;
+  const std::string path = entry_path(key);
+  std::error_code ec;
+  std::filesystem::create_directories(
+      std::filesystem::path(path).parent_path(), ec);
+  if (ec) return;
+
+  const std::string payload = encode_payload(key, result);
+  // Unique temp name per process *and* thread, renamed into place:
+  // concurrent writers (including separate sweeps sharing one cache
+  // directory) and crashes leave complete entries or nothing.
+  std::ostringstream tmp_name;
+  tmp_name << path << ".tmp." << ::getpid() << "."
+           << std::this_thread::get_id();
+  const std::string tmp = tmp_name.str();
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.good()) return;
+    write_pod(out, kMagic);
+    write_pod<std::uint64_t>(out, payload.size());
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    write_pod<std::uint64_t>(out, fnv1a64(payload.data(), payload.size()));
+    if (!out.good()) {
+      out.close();
+      std::filesystem::remove(tmp, ec);
+      return;
+    }
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return;
+  }
+
+  const std::lock_guard<std::mutex> lock(journal_mutex());
+  std::ofstream journal(journal_path(), std::ios::app);
+  if (journal.good()) {
+    journal << key.hex() << ' ' << key.canonical << '\n';
+  }
+}
+
+}  // namespace engine

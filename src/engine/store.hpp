@@ -1,0 +1,74 @@
+// Content-addressed on-disk result store with a completion journal.
+//
+// Each finished job is persisted as one binary file named by its key hash
+// (objects/<hh>/<hash16>.bin under the cache directory), written to a
+// temporary path and renamed into place — so a killed sweep leaves either
+// a complete, checksummed entry or nothing, never a half-written file, and
+// a restarted sweep resumes exactly from the completed jobs. Entries embed
+// the full canonical key (hash collisions are detected, not trusted) and a
+// trailing FNV checksum; anything truncated, corrupted, or foreign loads
+// as a miss and is recomputed. journal.log appends one line per completed
+// job in completion order — an audit trail for long sweeps; resumption
+// itself needs only the entries.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/job.hpp"
+#include "mdp/markov_chain.hpp"
+
+namespace engine {
+
+/// The persisted outcome of one analysis job. `seconds` is the wall-clock
+/// of the original computation and is replayed verbatim on a cache hit, so
+/// downstream reports don't mix solve times with cache-load times.
+struct StoredResult {
+  double errev_lower_bound = 0.0;
+  double beta_lo = 0.0;
+  double beta_hi = 1.0;
+  double errev_of_policy = 0.0;  ///< NaN when exact evaluation was off.
+  double seconds = 0.0;
+  std::int32_t search_iterations = 0;
+  std::int64_t solver_iterations = 0;
+  std::uint64_t num_states = 0;
+  mdp::Policy policy;
+  /// Final value vector — the warm start of the next chain point. May be
+  /// empty when the engine was told not to persist values.
+  std::vector<double> values;
+};
+
+class ResultStore {
+ public:
+  /// An empty `dir` disables the store (every load misses, stores are
+  /// no-ops) — the engine then still parallelizes and warm-starts, it just
+  /// cannot resume.
+  explicit ResultStore(std::string dir);
+
+  bool enabled() const { return !dir_.empty(); }
+  const std::string& dir() const { return dir_; }
+
+  /// The entry path of `key` (exposed so tests can corrupt entries).
+  std::string entry_path(const JobKey& key) const;
+
+  /// Loads the entry of `key`. Returns nullopt on a miss *or* on any
+  /// validation failure (bad magic/size/checksum, truncation, canonical
+  /// key mismatch); invalid entries are deleted so the slot heals on the
+  /// next store.
+  std::optional<StoredResult> load(const JobKey& key) const;
+
+  /// Atomically persists `result` under `key` and appends to the journal.
+  /// Best effort: IO failures are swallowed (the sweep still completes
+  /// from memory; only resumability suffers).
+  void store(const JobKey& key, const StoredResult& result) const;
+
+  /// Path of the completion journal.
+  std::string journal_path() const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace engine

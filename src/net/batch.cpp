@@ -3,6 +3,7 @@
 #include <cmath>
 #include <ostream>
 
+#include "engine/engine.hpp"
 #include "support/check.hpp"
 #include "support/csv.hpp"
 #include "support/parallel.hpp"
@@ -31,12 +32,16 @@ std::vector<ScenarioAggregate> run_batch(
       static_cast<std::size_t>(options.runs_per_scenario);
 
   // Strategy analyses can dominate wall-clock for "optimal" attackers;
-  // resolve them once per scenario, up front, shared by every seed.
-  std::vector<PreparedScenario> prepared;
-  prepared.reserve(num_scenarios);
-  for (const Scenario& scenario : scenarios) {
-    prepared.push_back(prepare_scenario(scenario, options.epsilon));
-  }
+  // resolve them once per scenario, up front, shared by every seed. The
+  // engine fans the per-point Algorithm 1 runs across the same worker
+  // budget the simulation runs use, and serves repeats from its store
+  // when the batch has a cache directory.
+  engine::EngineOptions engine_options;
+  engine_options.cache_dir = options.cache_dir;
+  engine_options.threads = options.threads;
+  engine::Engine engine(engine_options);
+  const std::vector<PreparedScenario> prepared =
+      prepare_scenarios(scenarios, options.epsilon, engine);
 
   // Flat grid: run index = scenario * runs + seed slot.
   std::vector<NetworkResult> results(num_scenarios * runs);

@@ -22,6 +22,10 @@ struct BatchOptions {
   int threads = 1;  ///< <= 0 means all hardware threads.
   std::uint64_t base_seed = 0x5eedULL;
   double epsilon = 1e-3;  ///< Algorithm 1 precision for "optimal" attackers.
+  /// Experiment-engine cache directory for the per-point Algorithm 1
+  /// preparations; empty = prepare in memory only (no resume across
+  /// processes). Preparation fans out on `threads` either way.
+  std::string cache_dir;
 };
 
 /// Aggregated statistics of one scenario point across its seeds.

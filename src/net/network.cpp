@@ -37,6 +37,7 @@ class Simulator {
                                                static_cast<std::uint64_t>(i)));
     }
     generation_.assign(n, 0);
+    armed_lanes_.assign(n, 0);
     known_.resize(n);
     orphans_.resize(n);
     result_.canonical.assign(n, 0);
@@ -73,12 +74,14 @@ class Simulator {
            config_.block_interval;
   }
 
-  /// (Re)arms `node`'s exponential clock from `now_`. Thanks to
-  /// memorylessness, re-drawing the remaining waiting time at any event
-  /// is distribution-preserving, so we simply reschedule the node after
-  /// every event it handles (its lane count may have changed).
+  /// (Re)arms `node`'s exponential clock from `now_`, invalidating any
+  /// pending mine event. Thanks to memorylessness, re-drawing the
+  /// remaining waiting time at any event is distribution-preserving, so
+  /// rescheduling is always *correct*; maybe_reschedule decides when it
+  /// is *necessary*.
   void schedule_mining(NodeId node) {
     ++generation_[node];
+    armed_lanes_[node] = miners_[node].agent->lanes();
     const double rate = rate_of(node);
     if (rate <= 0.0) return;  // zero hashrate or no lanes: clock parked
     const double u = rngs_[node].next_double();
@@ -151,7 +154,19 @@ class Simulator {
       return;
     }
     deliver_chain(node, block);
-    schedule_mining(node);  // lane count may have changed
+    maybe_reschedule(node);  // lane count may have changed
+  }
+
+  /// Post-delivery clock maintenance. Lazy mode re-arms only when the
+  /// handled events changed the node's lane count (the pending event's
+  /// waiting time stays valid while the rate is unchanged); legacy mode
+  /// re-draws unconditionally.
+  void maybe_reschedule(NodeId node) {
+    if (config_.lazy_clock_reschedule &&
+        miners_[node].agent->lanes() == armed_lanes_[node]) {
+      return;
+    }
+    schedule_mining(node);
   }
 
   /// Delivers `block` and any parked descendants that became deliverable.
@@ -298,6 +313,7 @@ class Simulator {
   double now_ = 0.0;
   std::vector<support::Rng> rngs_;
   std::vector<std::uint64_t> generation_;
+  std::vector<std::uint32_t> armed_lanes_;  ///< Lanes when last armed.
   std::vector<std::vector<char>> known_;  ///< Per node, indexed by block.
   std::vector<std::unordered_map<BlockId, std::vector<BlockId>>> orphans_;
   std::vector<BlockId> outbox_;

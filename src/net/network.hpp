@@ -40,6 +40,15 @@ struct NetworkConfig {
                                        ///< revenue accounting.
   int confirm_depth = 12;  ///< Contested suffix excluded from accounting.
   std::uint64_t seed = 1;  ///< Per-miner streams derive from this.
+  /// Re-arm a miner's exponential clock on a delivery only when the
+  /// delivery changed its live lane count (and hence its rate). Both
+  /// modes sample the same process — re-drawing the remaining wait of an
+  /// unchanged-rate exponential clock is distribution-preserving by
+  /// memorylessness — but the lazy mode skips one RNG draw plus one
+  /// heap push/pop per delivered block, which dominates event-loop cost
+  /// at scale. Off = the original resample-after-every-event behavior
+  /// (kept for A/B validation; tests pin the statistical equivalence).
+  bool lazy_clock_reschedule = true;
 };
 
 struct NetworkResult {

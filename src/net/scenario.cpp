@@ -9,6 +9,7 @@
 #include "analysis/algorithm1.hpp"
 #include "analysis/errev.hpp"
 #include "analysis/strategy_io.hpp"
+#include "engine/engine.hpp"
 #include "selfish/build.hpp"
 #include "support/check.hpp"
 
@@ -256,55 +257,105 @@ std::vector<Scenario> make_scenarios(const std::string& name,
                                  "\nknown scenarios:\n" + scenario_help());
 }
 
-PreparedScenario prepare_scenario(const Scenario& scenario, double epsilon) {
-  PreparedScenario prepared;
-  prepared.scenario = scenario;
-  prepared.models.assign(scenario.miners.size(), nullptr);
-  prepared.policies.assign(scenario.miners.size(), nullptr);
-  prepared.predicted_errev = std::numeric_limits<double>::quiet_NaN();
-
-  // Deduplicate identical analyses (e.g. two strategy attackers with the
-  // same attack model).
-  std::map<std::string, std::pair<std::shared_ptr<const selfish::SelfishModel>,
-                                  std::shared_ptr<const mdp::Policy>>>
-      cache;
-  for (std::size_t i = 0; i < scenario.miners.size(); ++i) {
-    const MinerSpec& spec = scenario.miners[i];
-    if (spec.kind != MinerSpec::Kind::kStrategy) continue;
-    if (spec.strategy == "honest" || spec.strategy == "never-release") {
-      continue;  // policy-free; the agent builds the strategy itself
-    }
-    const std::string key = spec.attack.to_string() + "|" + spec.strategy;
-    auto it = cache.find(key);
-    if (it == cache.end()) {
-      auto model = std::make_shared<selfish::SelfishModel>(
-          selfish::build_model(spec.attack));
-      std::shared_ptr<const mdp::Policy> policy;
-      if (spec.strategy.rfind("file:", 0) == 0) {
-        policy = std::make_shared<const mdp::Policy>(
-            analysis::load_strategy_file(*model, spec.strategy.substr(5)));
-      } else {
-        SM_REQUIRE(spec.strategy == "optimal", "unknown strategy: ",
-                   spec.strategy,
-                   " (expected optimal | honest | never-release | "
-                   "file:<path>)");
-        analysis::AnalysisOptions analysis_options;
-        analysis_options.epsilon = epsilon;
-        policy = std::make_shared<const mdp::Policy>(
-            analysis::analyze(*model, analysis_options).policy);
+std::vector<PreparedScenario> prepare_scenarios(
+    const std::vector<Scenario>& scenarios, double epsilon,
+    engine::Engine& engine) {
+  // Collect every distinct "optimal" analysis across the grid into one
+  // engine batch. The engine deduplicates and plans warm-start chains
+  // itself, but deduplicating here too keeps the (scenario, miner) →
+  // outcome bookkeeping simple.
+  analysis::AnalysisOptions analysis_options;
+  analysis_options.epsilon = epsilon;
+  std::vector<engine::AnalysisJob> jobs;
+  std::map<std::string, std::size_t> job_index;
+  for (const Scenario& scenario : scenarios) {
+    for (const MinerSpec& spec : scenario.miners) {
+      if (spec.kind != MinerSpec::Kind::kStrategy) continue;
+      if (spec.strategy != "optimal") continue;
+      const std::string id = spec.attack.to_string();
+      if (job_index.emplace(id, jobs.size()).second) {
+        engine::AnalysisJob job;
+        job.params = spec.attack;
+        job.options = analysis_options;
+        jobs.push_back(job);
       }
-      it = cache.emplace(key, std::make_pair(std::move(model),
-                                             std::move(policy)))
-               .first;
-    }
-    prepared.models[i] = it->second.first;
-    prepared.policies[i] = it->second.second;
-    if (std::isnan(prepared.predicted_errev)) {
-      prepared.predicted_errev =
-          analysis::exact_errev(*prepared.models[i], *prepared.policies[i]);
     }
   }
-  return prepared;
+  const std::vector<engine::JobOutcome> outcomes =
+      engine.run(jobs, /*keep_models=*/true);
+  // One shared policy per outcome, like the models: every scenario (and
+  // every identical attacker within one) aliases it instead of copying.
+  std::vector<std::shared_ptr<const mdp::Policy>> shared_policies(
+      outcomes.size());
+  for (std::size_t j = 0; j < outcomes.size(); ++j) {
+    shared_policies[j] =
+        std::make_shared<const mdp::Policy>(outcomes[j].result.policy);
+  }
+
+  std::vector<PreparedScenario> prepared_grid;
+  prepared_grid.reserve(scenarios.size());
+  // Strategy-file analyses are not engine jobs (nothing to solve); they
+  // are still deduplicated across the grid.
+  std::map<std::string,
+           std::pair<std::shared_ptr<const selfish::SelfishModel>,
+                     std::shared_ptr<const mdp::Policy>>>
+      file_cache;
+  for (const Scenario& scenario : scenarios) {
+    PreparedScenario prepared;
+    prepared.scenario = scenario;
+    prepared.models.assign(scenario.miners.size(), nullptr);
+    prepared.policies.assign(scenario.miners.size(), nullptr);
+    prepared.predicted_errev = std::numeric_limits<double>::quiet_NaN();
+
+    for (std::size_t i = 0; i < scenario.miners.size(); ++i) {
+      const MinerSpec& spec = scenario.miners[i];
+      if (spec.kind != MinerSpec::Kind::kStrategy) continue;
+      if (spec.strategy == "honest" || spec.strategy == "never-release") {
+        continue;  // policy-free; the agent builds the strategy itself
+      }
+      if (spec.strategy == "optimal") {
+        const std::size_t j = job_index.at(spec.attack.to_string());
+        const engine::JobOutcome& outcome = outcomes[j];
+        prepared.models[i] = outcome.model;
+        prepared.policies[i] = shared_policies[j];
+        if (std::isnan(prepared.predicted_errev)) {
+          // analyze() already evaluated the exact ERRev of the policy.
+          prepared.predicted_errev = outcome.result.errev_of_policy;
+        }
+        continue;
+      }
+      SM_REQUIRE(spec.strategy.rfind("file:", 0) == 0, "unknown strategy: ",
+                 spec.strategy,
+                 " (expected optimal | honest | never-release | "
+                 "file:<path>)");
+      const std::string key = spec.attack.to_string() + "|" + spec.strategy;
+      auto it = file_cache.find(key);
+      if (it == file_cache.end()) {
+        auto model = std::make_shared<selfish::SelfishModel>(
+            selfish::build_model(spec.attack));
+        auto policy = std::make_shared<const mdp::Policy>(
+            analysis::load_strategy_file(*model, spec.strategy.substr(5)));
+        it = file_cache
+                 .emplace(key, std::make_pair(std::move(model),
+                                              std::move(policy)))
+                 .first;
+      }
+      prepared.models[i] = it->second.first;
+      prepared.policies[i] = it->second.second;
+      if (std::isnan(prepared.predicted_errev)) {
+        prepared.predicted_errev =
+            analysis::exact_errev(*prepared.models[i], *prepared.policies[i]);
+      }
+    }
+    prepared_grid.push_back(std::move(prepared));
+  }
+  return prepared_grid;
+}
+
+PreparedScenario prepare_scenario(const Scenario& scenario, double epsilon) {
+  engine::Engine engine{engine::EngineOptions{}};
+  return std::move(
+      prepare_scenarios({scenario}, epsilon, engine).front());
 }
 
 NetworkResult run_scenario(const PreparedScenario& prepared,
@@ -348,6 +399,7 @@ NetworkResult run_scenario(const PreparedScenario& prepared,
   config.warmup_heights = scenario.warmup_heights;
   config.confirm_depth = scenario.confirm_depth;
   config.seed = seed;
+  config.lazy_clock_reschedule = scenario.lazy_clock_reschedule;
   return run_network(config, std::move(setups));
 }
 

@@ -17,6 +17,10 @@
 #include "net/mdp_miner.hpp"
 #include "net/network.hpp"
 
+namespace engine {
+class Engine;
+}
+
 namespace net {
 
 struct MinerSpec {
@@ -43,6 +47,9 @@ struct Scenario {
   std::uint64_t blocks = 100'000;
   std::uint32_t warmup_heights = 200;
   int confirm_depth = 12;
+  /// See NetworkConfig::lazy_clock_reschedule (default on; off restores
+  /// the resample-after-every-event clock for A/B validation).
+  bool lazy_clock_reschedule = true;
 
   /// Combined relative hashrate of the non-honest miners.
   double attacker_power() const;
@@ -89,6 +96,16 @@ struct PreparedScenario {
 
 PreparedScenario prepare_scenario(const Scenario& scenario,
                                   double epsilon = 1e-3);
+
+/// Prepares a whole grid at once: every "optimal" Algorithm 1 analysis
+/// across the grid is submitted to `engine` as one deduplicated batch
+/// (parallel across warm-start chains, served from the engine's store
+/// when cached). The prepared scenarios — including predicted_errev — are
+/// identical for a given grid at any engine thread count, so batch output
+/// stays bit-identical no matter how preparation was parallelized.
+std::vector<PreparedScenario> prepare_scenarios(
+    const std::vector<Scenario>& scenarios, double epsilon,
+    engine::Engine& engine);
 
 /// Instantiates fresh agents and executes one run. Thread-safe across
 /// distinct calls on one PreparedScenario.

@@ -1,0 +1,130 @@
+// Lane-count-change-only clock rescheduling (ROADMAP profiling item):
+// the lazy mode must be statistically indistinguishable from the legacy
+// resample-after-every-event mode — both sample the same competing
+// exponential clocks, by memorylessness — while skipping the per-delivery
+// RNG draw and heap churn. Pinned here: exact trace equality when no
+// deliveries exist to reschedule, tight statistical agreement of revenue
+// shares and stale rates when they do, and the default being on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "net/network.hpp"
+#include "net/topology.hpp"
+#include "support/stats.hpp"
+
+namespace {
+
+net::NetworkConfig base_config(bool lazy, std::uint64_t seed) {
+  net::NetworkConfig config;
+  config.block_interval = 600.0;
+  config.blocks = 20'000;
+  config.warmup_heights = 50;
+  config.confirm_depth = 6;
+  config.seed = seed;
+  config.lazy_clock_reschedule = lazy;
+  return config;
+}
+
+net::NetworkResult run_sm1_race(bool lazy, std::uint64_t seed) {
+  auto config = base_config(lazy, seed);
+  config.topology = net::Topology::uniform(4, 1.0);  // 1 s one-way delay
+  std::vector<net::MinerSetup> miners;
+  for (int i = 0; i < 3; ++i) {
+    net::MinerSetup setup;
+    setup.agent = net::make_honest_miner(net::TiePolicy::kGammaPerMiner, 0.5);
+    setup.weight = 0.7 / 3;
+    setup.honest = true;
+    miners.push_back(std::move(setup));
+  }
+  net::MinerSetup attacker;
+  attacker.agent = net::make_sm1_miner(net::TiePolicy::kGammaPerMiner, 0.5);
+  attacker.weight = 0.3;
+  attacker.honest = false;
+  miners.push_back(std::move(attacker));
+  return net::run_network(config, std::move(miners));
+}
+
+TEST(NetClock, LazyReschedulingIsTheDefault) {
+  EXPECT_TRUE(net::NetworkConfig{}.lazy_clock_reschedule);
+}
+
+TEST(NetClock, SingleMinerTraceIsBitIdentical) {
+  // With one miner there are no deliveries, so the modes may not diverge
+  // at all: same events, same times, same chain.
+  for (const std::uint64_t seed : {1ull, 7ull, 42ull}) {
+    auto config = base_config(true, seed);
+    config.blocks = 5'000;
+    config.topology = net::Topology::uniform(1, 0.0);
+    std::vector<net::MinerSetup> solo;
+    net::MinerSetup setup;
+    setup.agent = net::make_honest_miner(net::TiePolicy::kFirstSeen, 0.0);
+    solo.push_back(std::move(setup));
+    const auto lazy = net::run_network(config, std::move(solo));
+
+    config.lazy_clock_reschedule = false;
+    std::vector<net::MinerSetup> solo2;
+    net::MinerSetup setup2;
+    setup2.agent = net::make_honest_miner(net::TiePolicy::kFirstSeen, 0.0);
+    solo2.push_back(std::move(setup2));
+    const auto resample = net::run_network(config, std::move(solo2));
+
+    EXPECT_EQ(lazy.events, resample.events);
+    EXPECT_EQ(lazy.tip_height, resample.tip_height);
+    EXPECT_EQ(lazy.sim_time, resample.sim_time);
+    EXPECT_EQ(lazy.canonical, resample.canonical);
+  }
+}
+
+TEST(NetClock, StatisticallyEquivalentToResampling) {
+  // A delayed network with an SM1 attacker: deliveries happen constantly,
+  // so the legacy mode redraws clocks thousands of times where the lazy
+  // mode keeps them armed (SM1 and honest agents hold one lane forever).
+  // Same process either way: per-seed means must agree within a few
+  // standard errors.
+  constexpr int kSeeds = 12;
+  support::RunningStat lazy_share, resample_share;
+  support::RunningStat lazy_stale, resample_stale;
+  for (int s = 0; s < kSeeds; ++s) {
+    const auto lazy = run_sm1_race(true, 0xc10cULL + s);
+    const auto resample = run_sm1_race(false, 0xc10cULL + s);
+    lazy_share.add(lazy.share(3));
+    resample_share.add(resample.share(3));
+    lazy_stale.add(lazy.stale_rate());
+    resample_stale.add(resample.stale_rate());
+  }
+  const double share_noise = lazy_share.ci95_halfwidth() +
+                             resample_share.ci95_halfwidth();
+  EXPECT_NEAR(lazy_share.mean(), resample_share.mean(),
+              std::max(0.01, 1.5 * share_noise));
+  const double stale_noise = lazy_stale.ci95_halfwidth() +
+                             resample_stale.ci95_halfwidth();
+  EXPECT_NEAR(lazy_stale.mean(), resample_stale.mean(),
+              std::max(0.01, 1.5 * stale_noise));
+}
+
+TEST(NetClock, LazyModeProcessesSameMiningWorkload) {
+  // Both modes simulate exactly `blocks` mining events; the lazy mode
+  // must not lose or duplicate clock arms while skipping reschedules.
+  const auto lazy = run_sm1_race(true, 99);
+  const auto resample = run_sm1_race(false, 99);
+  EXPECT_EQ(lazy.mine_events, resample.mine_events);
+  double lazy_total = 0.0, resample_total = 0.0;
+  for (const auto count : lazy.mined) {
+    lazy_total += static_cast<double>(count);
+  }
+  for (const auto count : resample.mined) {
+    resample_total += static_cast<double>(count);
+  }
+  EXPECT_EQ(lazy_total, resample_total);
+  // Hashrate shares of the *mining work* must match closely: the clocks'
+  // marginal rates are identical in both modes.
+  for (std::size_t m = 0; m < lazy.mined.size(); ++m) {
+    EXPECT_NEAR(static_cast<double>(lazy.mined[m]) / lazy_total,
+                static_cast<double>(resample.mined[m]) / resample_total,
+                0.02)
+        << "miner " << m;
+  }
+}
+
+}  // namespace

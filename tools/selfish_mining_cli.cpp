@@ -24,6 +24,7 @@
 #include "baselines/eyal_sirer.hpp"
 #include "baselines/honest.hpp"
 #include "baselines/single_tree.hpp"
+#include "engine/engine.hpp"
 #include "mdp/export.hpp"
 #include "net/batch.hpp"
 #include "net/scenario.hpp"
@@ -34,6 +35,7 @@
 #include "support/csv.hpp"
 #include "support/options.hpp"
 #include "support/table.hpp"
+#include "support/timer.hpp"
 
 namespace {
 
@@ -135,32 +137,42 @@ int cmd_sweep(int argc, const char* const* argv) {
   options.declare("pmin", "0", "smallest resource");
   options.declare("pmax", "0.3", "largest resource");
   options.declare("step", "0.05", "resource grid step");
+  options.declare("threads", "1",
+                  "engine worker threads (0 = all cores); independent "
+                  "warm-start chains run in parallel");
+  options.declare("cache-dir", "",
+                  "experiment-engine result store: a killed sweep resumes "
+                  "from its completed grid points, reruns are served from "
+                  "cache, and the CSV is byte-identical either way");
   if (!parse_or_help(options, argc, argv)) return 0;
 
   selfish::AttackParams base = params_from(options);
   const auto grid = analysis::linspace_grid(options.get_double("pmin"),
                                             options.get_double("pmax"),
                                             options.get_double("step"));
-  const auto sweep =
-      analysis::sweep_p(base, grid, analysis_from(options));
 
-  support::CsvWriter csv(std::cout);
-  csv.header({"p", "errev_lower_bound", "errev_of_strategy", "honest",
-              "single_tree", "states", "seconds"});
+  engine::EngineOptions engine_options;
+  engine_options.cache_dir = options.get_string("cache-dir");
+  engine_options.threads = options.get_int("threads");
+  engine::Engine engine(engine_options);
+
+  const support::Timer timer;
+  const auto sweep =
+      analysis::sweep_p(base, grid, analysis_from(options), engine);
+  analysis::write_sweep_csv(sweep, std::cout);
+
+  // The CSV on stdout is the deterministic artifact; volatile run stats
+  // go to stderr.
+  std::size_t cached = 0;
+  double solve_seconds = 0.0;
   for (const auto& point : sweep.points) {
-    const double tree =
-        baselines::analyze_single_tree(
-            baselines::SingleTreeParams{.p = point.p, .gamma = base.gamma,
-                                        .max_depth = 4, .max_width = 5})
-            .errev;
-    csv.row({support::format_double(point.p, 6),
-             support::format_double(point.errev, 6),
-             support::format_double(point.errev_of_policy, 6),
-             support::format_double(baselines::honest_errev(point.p), 6),
-             support::format_double(tree, 6),
-             std::to_string(point.num_states),
-             support::format_double(point.seconds, 4)});
+    cached += point.cached ? 1 : 0;
+    solve_seconds += point.seconds;
   }
+  std::fprintf(stderr,
+               "sweep: %zu points (%zu from cache), %.3f s solve time, "
+               "%.3f s wall\n",
+               sweep.points.size(), cached, solve_seconds, timer.seconds());
   return 0;
 }
 
@@ -265,6 +277,12 @@ int cmd_network(int argc, const char* const* argv) {
   options.declare("threads", "0", "worker threads (0 = all cores)");
   options.declare("seed", "24141", "base seed of the batch");
   options.declare("csv", "false", "emit CSV instead of a table");
+  options.declare("cache-dir", "",
+                  "experiment-engine result store for the per-point "
+                  "Algorithm 1 preparations (reruns skip re-analysis)");
+  options.declare("resample-clock", "false",
+                  "restore the legacy resample-mining-clock-after-every-"
+                  "event loop (default reschedules only on lane changes)");
   if (!parse_or_help(options, argc, argv)) {
     std::fputs(("\nscenario families:\n" + net::scenario_help()).c_str(),
                stderr);
@@ -291,9 +309,15 @@ int cmd_network(int argc, const char* const* argv) {
   batch_options.threads = options.get_int("threads");
   batch_options.base_seed = static_cast<std::uint64_t>(options.get_int("seed"));
   batch_options.epsilon = options.get_double("epsilon");
+  batch_options.cache_dir = options.get_string("cache-dir");
 
-  const auto grid =
+  auto grid =
       net::make_scenarios(options.get_string("scenario"), scenario_options);
+  if (options.get_bool("resample-clock")) {
+    for (net::Scenario& scenario : grid) {
+      scenario.lazy_clock_reschedule = false;
+    }
+  }
   const auto aggregates = net::run_batch(grid, batch_options);
 
   if (options.get_bool("csv")) {
@@ -418,7 +442,8 @@ void print_usage() {
       "usage: selfish-mining <command> [--option=value ...]\n\n"
       "commands:\n"
       "  analyze    run Algorithm 1 for one attack configuration\n"
-      "  sweep      ERRev over a resource grid (CSV)\n"
+      "  sweep      ERRev over a resource grid — parallel, cached, "
+      "resumable (CSV)\n"
       "  threshold  locate the profitability frontier in p\n"
       "  simulate   execute a strategy in the Monte-Carlo simulator\n"
       "  network    discrete-event multi-miner network simulation "
