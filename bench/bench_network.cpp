@@ -27,18 +27,24 @@ int main(int argc, char** argv) {
   {
     net::ScenarioOptions scenario_options;
     scenario_options.blocks = full ? 400'000 : 100'000;
+    scenario_options.delay = 2.0;  // partitions/asymmetry need real delays
     support::Table table({"scenario", "events", "blocks", "events/s",
                           "attacker share", "Time (s)"});
     for (const char* family :
-         {"honest-uniform", "single-sm1", "two-sm1", "star"}) {
+         {"honest-uniform", "single-sm1", "two-sm1", "star",
+          "gossip-delay", "partition-attack", "asymmetric-star"}) {
       const auto grid = net::make_scenarios(family, scenario_options);
-      const auto prepared = net::prepare_scenario(grid[0]);
+      // gossip-delay point 2 has a non-trivial per-hop delay (1% of the
+      // interval); every other family benches its first point.
+      const std::size_t point =
+          std::string(family) == "gossip-delay" ? 2 : 0;
+      const auto prepared = net::prepare_scenario(grid[point]);
       const support::Timer timer;
       const auto result = net::run_scenario(prepared, 1);
       const double seconds = timer.seconds();
       double attacker = 0.0;
-      for (std::size_t m = 0; m < grid[0].miners.size(); ++m) {
-        if (grid[0].miners[m].kind != net::MinerSpec::Kind::kHonest) {
+      for (std::size_t m = 0; m < grid[point].miners.size(); ++m) {
+        if (grid[point].miners[m].kind != net::MinerSpec::Kind::kHonest) {
           attacker += result.share(static_cast<net::NodeId>(m));
         }
       }
@@ -47,6 +53,37 @@ int main(int argc, char** argv) {
                      support::format_double(
                          static_cast<double>(result.events) / seconds, 0),
                      support::format_double(attacker, 4),
+                     support::format_double(seconds, 3)});
+      std::fflush(stdout);
+    }
+    table.print(std::cout);
+  }
+
+  // ---- transport cost: direct broadcast vs store-and-forward gossip ----
+  {
+    std::printf("\npropagation modes on one scenario (single-sm1, "
+                "delay = 1%% of the interval):\n");
+    support::Table table({"mode", "events", "deliveries", "relays",
+                          "duplicates", "worst prop (s)", "events/s",
+                          "Time (s)"});
+    for (const auto mode : {net::PropagationMode::kDirect,
+                            net::PropagationMode::kGossip}) {
+      net::ScenarioOptions scenario_options;
+      scenario_options.blocks = full ? 200'000 : 60'000;
+      scenario_options.delay = 0.01 * scenario_options.block_interval;
+      scenario_options.propagation = mode;
+      const auto grid = net::make_scenarios("single-sm1", scenario_options);
+      const auto prepared = net::prepare_scenario(grid[0]);
+      const support::Timer timer;
+      const auto result = net::run_scenario(prepared, 1);
+      const double seconds = timer.seconds();
+      table.add_row({net::to_string(mode), std::to_string(result.events),
+                     std::to_string(result.deliveries),
+                     std::to_string(result.relay_arrivals),
+                     std::to_string(result.duplicate_arrivals),
+                     support::format_double(result.worst_propagation, 1),
+                     support::format_double(
+                         static_cast<double>(result.events) / seconds, 0),
                      support::format_double(seconds, 3)});
       std::fflush(stdout);
     }

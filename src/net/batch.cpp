@@ -78,8 +78,12 @@ std::vector<ScenarioAggregate> run_batch(
       if (result.races_resolved > 0) {
         agg.effective_gamma.add(result.effective_gamma());
       }
+      agg.worst_propagation.add(result.worst_propagation);
       agg.total_races += result.races;
       agg.total_events += result.events;
+      agg.total_relays += result.relay_arrivals;
+      agg.total_syncs += result.sync_arrivals;
+      agg.total_cut_sends += result.cut_sends;
     }
   }
   return aggregates;
@@ -91,7 +95,7 @@ void write_batch_csv(const std::vector<ScenarioAggregate>& aggregates,
   csv.header({"scenario", "variant", "runs", "attacker_power",
               "predicted_errev", "attacker_share", "attacker_share_ci95",
               "stale_rate", "effective_gamma", "effective_gamma_ci95",
-              "races"});
+              "races", "worst_propagation"});
   for (const ScenarioAggregate& agg : aggregates) {
     csv.row({agg.name, agg.variant, std::to_string(agg.runs),
              support::format_double(agg.attacker_power, 6),
@@ -108,7 +112,8 @@ void write_batch_csv(const std::vector<ScenarioAggregate>& aggregates,
                  ? ""
                  : support::format_double(
                        agg.effective_gamma.ci95_halfwidth(), 6),
-             std::to_string(agg.total_races)});
+             std::to_string(agg.total_races),
+             support::format_double(agg.worst_propagation.mean(), 6)});
   }
 }
 

@@ -40,9 +40,19 @@ struct ScenarioAggregate {
   support::RunningStat stale_rate;
   /// Measured over runs with at least one resolved tie race.
   support::RunningStat effective_gamma;
+  /// Worst end-to-end propagation of a published block, per run. Mode-
+  /// agnostic (gossip matches direct on a static topology), so it is safe
+  /// in the CSV that the CI byte-compares across propagation modes.
+  support::RunningStat worst_propagation;
   std::vector<support::RunningStat> miner_share;  ///< Per miner.
   std::uint64_t total_races = 0;
   std::uint64_t total_events = 0;
+  // Transport breakdown across all runs of the point (mode-dependent:
+  // relays and duplicates only exist under gossip; cut sends only with
+  // partition windows). Reported in tables/benches, not the CSV.
+  std::uint64_t total_relays = 0;
+  std::uint64_t total_syncs = 0;
+  std::uint64_t total_cut_sends = 0;
 };
 
 /// Prepares every scenario (strategy analyses run once, shared across

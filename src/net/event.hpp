@@ -84,7 +84,13 @@ class BlockArena {
 
 enum class EventKind : std::uint8_t {
   kMine = 0,     ///< A node's mining clock fires (it finds a block).
-  kDeliver = 1,  ///< A broadcast block arrives at a node.
+  kDeliver = 1,  ///< A block broadcast by its origin arrives at a node.
+  kRelay = 2,    ///< A store-and-forward hop arrives (gossip mode): the
+                 ///< sender accepted the block earlier and forwarded it
+                 ///< along one of its topology links.
+  kSync = 3,     ///< A parent block fetched in response to an orphaned
+                 ///< arrival (the receiver pulled the missing ancestor
+                 ///< from the sender; one round trip per block).
 };
 
 struct Event {
@@ -95,8 +101,12 @@ struct Event {
   /// kMine: schedule generation — stale when it no longer matches the
   /// node's current generation (the node rescheduled in the meantime).
   std::uint64_t generation = 0;
-  /// kDeliver: the arriving block.
+  /// Arrivals: the arriving block.
   BlockId block = kGenesis;
+  /// Arrivals: the node the block came from (the broadcast origin for
+  /// kDeliver, the forwarding hop for kRelay, the fetch responder for
+  /// kSync); kNoNode for kMine.
+  NodeId from = kNoNode;
 };
 
 /// Min-heap over (time, seq). Push assigns monotonically increasing

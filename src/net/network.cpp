@@ -1,5 +1,6 @@
 #include "net/network.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <unordered_map>
 #include <utility>
@@ -54,10 +55,20 @@ class Simulator {
         ++result_.events;
         handle_mine(event.node);
       } else {
-        now_ = event.time;
-        ++result_.events;
-        handle_delivery(event.node, event.block);
+        process_arrival(event);
       }
+      result_.sim_time = now_;
+    }
+    // Mining budget exhausted: drain the in-flight arrivals (discarding
+    // pending mine events — no new blocks are found) so accounting and
+    // convergence are measured on a quiesced network instead of whatever
+    // the last mine event left mid-air. Terminates: arrivals spawn new
+    // arrivals only for newly accepted blocks, relays happen once per
+    // (node, block), and sync fetches walk finite ancestries.
+    while (!queue_.empty()) {
+      const Event event = queue_.pop();
+      if (event.kind == EventKind::kMine) continue;
+      process_arrival(event);
       result_.sim_time = now_;
     }
     finalize();
@@ -65,6 +76,14 @@ class Simulator {
   }
 
  private:
+  void process_arrival(const Event& event) {
+    now_ = event.time;
+    ++result_.events;
+    if (event.kind == EventKind::kRelay) ++result_.relay_arrivals;
+    if (event.kind == EventKind::kSync) ++result_.sync_arrivals;
+    handle_delivery(event.node, event.from, event.block);
+  }
+
   // ------------------------------------------------------------- mining
 
   double rate_of(NodeId node) const {
@@ -117,20 +136,58 @@ class Simulator {
 
   // ----------------------------------------------------------- delivery
 
+  /// Fans the origin's outbox out to the network. Direct mode sends to
+  /// every other node with the effective (shortest-path) delay; gossip
+  /// mode sends only to the origin's topology neighbors with the per-hop
+  /// link delay — the receivers forward on first receipt (relay()).
   void broadcast(NodeId from) {
     if (outbox_.empty()) return;
     for (const BlockId block : outbox_) {
-      for (NodeId to = 0; to < miners_.size(); ++to) {
-        if (to == from) continue;
-        Event event;
-        event.time = now_ + config_.topology.delay(from, to);
-        event.kind = EventKind::kDeliver;
-        event.node = to;
-        event.block = block;
-        queue_.push(event);
+      note_first_broadcast(block);
+      if (config_.propagation == PropagationMode::kGossip) {
+        for (const NodeId to : config_.topology.neighbors(from)) {
+          send(EventKind::kDeliver, from, to, block,
+               config_.topology.link_delay(from, to));
+        }
+      } else {
+        for (NodeId to = 0; to < miners_.size(); ++to) {
+          if (to == from) continue;
+          send(EventKind::kDeliver, from, to, block,
+               config_.topology.delay(from, to));
+        }
       }
     }
     outbox_.clear();
+  }
+
+  /// Gossip forwarding: `node` just accepted `block` and forwards it
+  /// along its own links (skipping the hop it came from — everyone else
+  /// deduplicates on first receipt anyway, the skip only trims traffic).
+  void relay(NodeId node, NodeId came_from, BlockId block) {
+    for (const NodeId to : config_.topology.neighbors(node)) {
+      if (to == came_from) continue;
+      send(EventKind::kRelay, node, to, block,
+           config_.topology.link_delay(node, to));
+    }
+  }
+
+  /// Schedules one block arrival unless the edge is cut by an active
+  /// partition window. Cuts apply at *send* time: a hop whose forward
+  /// moment falls inside a split window is dropped, messages already in
+  /// flight when a window opens still arrive.
+  void send(EventKind kind, NodeId from, NodeId to, BlockId block,
+            double delay) {
+    if (config_.topology.cut(from, to, now_)) {
+      ++result_.cut_sends;
+      return;
+    }
+    Event event;
+    event.time = now_ + delay;
+    event.kind = kind;
+    event.node = to;
+    event.from = from;
+    event.block = block;
+    queue_.push(event);
   }
 
   bool knows(NodeId node, BlockId block) const {
@@ -146,15 +203,49 @@ class Simulator {
     flags[block] = 1;
   }
 
-  void handle_delivery(NodeId node, BlockId block) {
-    if (knows(node, block)) return;  // duplicate (e.g. re-released blocks)
-    if (!knows(node, arena_.get(block).parent)) {
-      // Out-of-order arrival: park until the parent shows up.
-      orphans_[node][arena_.get(block).parent].push_back(block);
+  void handle_delivery(NodeId node, NodeId from, BlockId block) {
+    if (knows(node, block)) {
+      ++result_.duplicate_arrivals;  // e.g. re-released or relayed copies
       return;
     }
-    deliver_chain(node, block);
+    const BlockId parent = arena_.get(block).parent;
+    if (!knows(node, parent)) {
+      // Out-of-order arrival: park until the parent shows up, and pull
+      // the missing ancestor from the sender (it accepted the block, so
+      // it knows the whole ancestry). One round trip per block; if the
+      // parent is itself an orphan here, its arrival re-enters this path
+      // and fetches the next ancestor — recursive sync down to the first
+      // common block. This is what lets partitioned sides reconverge
+      // after a heal.
+      auto& parked = orphans_[node][parent];
+      if (std::find(parked.begin(), parked.end(), block) != parked.end()) {
+        // Another relayed copy of an already-parked block (common right
+        // after a heal, one copy per forwarding neighbor): its ancestor
+        // fetch is already in flight — don't start a second sync storm.
+        ++result_.duplicate_arrivals;
+        return;
+      }
+      parked.push_back(block);
+      if (from != kNoNode) {
+        send(EventKind::kSync, from, node, parent,
+             hop_delay(node, from) + hop_delay(from, node));
+      }
+      return;
+    }
+    deliver_chain(node, from, block);
     maybe_reschedule(node);  // lane count may have changed
+  }
+
+  /// One-way delay used for sync round trips: the link delay between
+  /// adjacent nodes under gossip, the effective delay otherwise (under
+  /// gossip a sync partner is normally a neighbor; the effective delay
+  /// covers the degenerate cases).
+  double hop_delay(NodeId from, NodeId to) const {
+    if (config_.propagation == PropagationMode::kGossip &&
+        config_.topology.has_link(from, to)) {
+      return config_.topology.link_delay(from, to);
+    }
+    return config_.topology.delay(from, to);
   }
 
   /// Post-delivery clock maintenance. Lazy mode re-arms only when the
@@ -170,26 +261,31 @@ class Simulator {
   }
 
   /// Delivers `block` and any parked descendants that became deliverable.
-  void deliver_chain(NodeId node, BlockId block) {
-    std::vector<BlockId> pending{block};
+  /// `from` is the sender of the triggering arrival; unparked descendants
+  /// lost their sender when parked (kNoNode — their relays skip no hop).
+  void deliver_chain(NodeId node, NodeId from, BlockId block) {
+    std::vector<std::pair<BlockId, NodeId>> pending{{block, from}};
     while (!pending.empty()) {
-      const BlockId next = pending.back();
+      const auto [next, sender] = pending.back();
       pending.pop_back();
       if (knows(node, next)) continue;  // parked twice via duplicate sends
-      deliver_one(node, next);
+      deliver_one(node, sender, next);
       auto& parked = orphans_[node];
       const auto it = parked.find(next);
       if (it != parked.end()) {
         // Reverse: the work stack pops from the back, and parked children
         // must be processed in arrival order.
-        pending.insert(pending.end(), it->second.rbegin(),
-                       it->second.rend());
+        for (auto r = it->second.rbegin(); r != it->second.rend(); ++r) {
+          pending.emplace_back(*r, kNoNode);
+        }
         parked.erase(it);
       }
     }
   }
 
-  void deliver_one(NodeId node, BlockId block) {
+  void deliver_one(NodeId node, NodeId from, BlockId block) {
+    ++result_.deliveries;
+    note_propagation(block);
     Miner& agent = *miners_[node].agent;
     const BlockId tip_before = agent.tip();
     detect_race(node, block, tip_before);
@@ -209,7 +305,28 @@ class Simulator {
     for (std::size_t b = arena_before; b < arena_.size(); ++b) {
       mark_known(node, static_cast<BlockId>(b));
     }
+    if (config_.propagation == PropagationMode::kGossip) {
+      relay(node, from, block);
+    }
     broadcast(node);
+  }
+
+  // ------------------------------------------------- propagation stats
+
+  /// Records the moment a block first enters the transport (its release:
+  /// mined-and-announced for honest blocks, publication for withheld
+  /// attacker blocks).
+  void note_first_broadcast(BlockId block) {
+    if (first_sent_.size() < arena_.size()) {
+      first_sent_.resize(arena_.size(), -1.0);
+    }
+    if (first_sent_[block] < 0.0) first_sent_[block] = now_;
+  }
+
+  void note_propagation(BlockId block) {
+    if (block >= first_sent_.size() || first_sent_[block] < 0.0) return;
+    const double age = now_ - first_sent_[block];
+    if (age > result_.worst_propagation) result_.worst_propagation = age;
   }
 
   // -------------------------------------------------- effective gamma
@@ -278,6 +395,22 @@ class Simulator {
     result_.arena_blocks = static_cast<std::uint64_t>(arena_.size()) - 1;
     for (const MinerSetup& m : miners_) {
       result_.wasted.push_back(m.agent->wasted_blocks());
+      result_.final_tips.push_back(m.agent->tip());
+    }
+    // Convergence is an *honest*-network property: attackers expose
+    // their private tips, which legitimately diverge. `any_honest` and
+    // `best` already implement the same honest-first fallback.
+    result_.converged = true;
+    BlockId reference = best;
+    bool reference_set = false;
+    for (std::size_t i = 0; i < miners_.size(); ++i) {
+      if (any_honest && !miners_[i].honest) continue;
+      if (!reference_set) {
+        reference = result_.final_tips[i];
+        reference_set = true;
+      } else if (result_.final_tips[i] != reference) {
+        result_.converged = false;
+      }
     }
 
     const std::uint32_t top =
@@ -317,6 +450,8 @@ class Simulator {
   std::vector<std::vector<char>> known_;  ///< Per node, indexed by block.
   std::vector<std::unordered_map<BlockId, std::vector<BlockId>>> orphans_;
   std::vector<BlockId> outbox_;
+  std::vector<double> first_sent_;  ///< Block -> first broadcast time (-1
+                                    ///< = never entered the transport).
 
   bool race_active_ = false;
   std::uint32_t race_height_ = 0;
@@ -326,6 +461,21 @@ class Simulator {
 };
 
 }  // namespace
+
+const char* to_string(PropagationMode mode) {
+  switch (mode) {
+    case PropagationMode::kDirect: return "direct";
+    case PropagationMode::kGossip: return "gossip";
+  }
+  return "?";
+}
+
+PropagationMode propagation_from_string(const std::string& name) {
+  if (name == "direct") return PropagationMode::kDirect;
+  if (name == "gossip") return PropagationMode::kGossip;
+  throw support::InvalidArgument("unknown propagation mode: " + name +
+                                 " (expected direct | gossip)");
+}
 
 NetworkResult run_network(const NetworkConfig& config,
                           std::vector<MinerSetup> miners) {

@@ -4,10 +4,16 @@
 // weight_i / W * lanes_i / block_interval — competing exponential clocks
 // make the winner of each "step" exactly the paper's (p, k)-mining model
 // (§2.1), while per-link propagation delays and local chain views add the
-// network realism the abstract model collapses into gamma. Blocks are
-// broadcast to every other node with the topology's one-way delays,
-// delivered in order (a block is handed to an agent only once its parent
-// is known there; out-of-order arrivals are parked), and deduplicated.
+// network realism the abstract model collapses into gamma. Blocks travel
+// either directly origin-to-all with the topology's effective one-way
+// delays (PropagationMode::kDirect) or store-and-forward along topology
+// links with per-hop delays and per-node forwarding on first receipt
+// (kGossip); either way a block is handed to an agent only once its
+// parent is known there (out-of-order arrivals are parked, and a missing
+// ancestor is pulled from the sender — one round trip per block), and
+// duplicates are dropped. Timed partition windows on the topology cut
+// edges between miner groups at send time; after a window heals the
+// sides reconverge through the ancestor-fetch path.
 //
 // Beyond per-miner revenue the simulator measures the *effective gamma*:
 // the fraction of attacker tie races whose next honest block extends the
@@ -17,6 +23,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "net/miner.hpp"
@@ -30,12 +37,36 @@ struct MinerSetup {
   bool honest = true;   ///< Honest nodes anchor accounting & race stats.
 };
 
+/// How a published block travels the network.
+enum class PropagationMode : std::uint8_t {
+  /// The origin sends the block to every other node directly, paying the
+  /// topology's effective (shortest-path) delay per destination — the
+  /// idealized broadcast primitive of the original simulator.
+  kDirect = 0,
+  /// Store-and-forward: the origin sends only to its topology neighbors;
+  /// each node, on *first* receipt of a block, forwards it along its own
+  /// links (dedup drops later copies). Arrival times match kDirect on a
+  /// static topology (the effective matrix is the shortest relay path),
+  /// but hops interact with partitions — a relay path that crosses a cut
+  /// edge at forward time is blocked — and relay traffic is measurable.
+  kGossip = 1,
+};
+
+const char* to_string(PropagationMode mode);
+
+/// Parses "direct" | "gossip" (throws support::InvalidArgument otherwise).
+PropagationMode propagation_from_string(const std::string& name);
+
 struct NetworkConfig {
   Topology topology;             ///< Must match the number of miners.
+  PropagationMode propagation = PropagationMode::kDirect;
   double block_interval = 600.0; ///< Mean time between blocks at one lane
                                  ///< per unit weight (seconds).
   std::uint64_t blocks = 100'000;   ///< Mining events to simulate (incl.
-                                    ///< blocks wasted on capped forks).
+                                    ///< blocks wasted on capped forks);
+                                    ///< in-flight deliveries are drained
+                                    ///< after the last one (no new blocks
+                                    ///< are mined while draining).
   std::uint32_t warmup_heights = 100;  ///< Chain prefix excluded from
                                        ///< revenue accounting.
   int confirm_depth = 12;  ///< Contested suffix excluded from accounting.
@@ -52,11 +83,31 @@ struct NetworkConfig {
 };
 
 struct NetworkResult {
-  std::uint64_t events = 0;       ///< Events processed (mine + deliver).
+  std::uint64_t events = 0;       ///< Events processed (mine + arrivals).
   std::uint64_t mine_events = 0;  ///< Blocks found, including wasted ones.
   std::uint64_t arena_blocks = 0; ///< Blocks actually created (excl. genesis).
   double sim_time = 0.0;          ///< Clock at the last processed event.
   std::uint32_t tip_height = 0;   ///< Height of the final canonical tip.
+
+  // Propagation accounting. `deliveries` counts first receipts (a block
+  // handed to an agent), identical across propagation modes on a static
+  // topology; the rest break down the transport overhead and are
+  // mode-dependent (relays and duplicates exist only under gossip).
+  std::uint64_t deliveries = 0;        ///< First receipts (any arrival kind).
+  std::uint64_t relay_arrivals = 0;    ///< kRelay arrivals processed.
+  std::uint64_t sync_arrivals = 0;     ///< kSync parent fetches delivered.
+  std::uint64_t duplicate_arrivals = 0;///< Arrivals dropped as known.
+  std::uint64_t cut_sends = 0;         ///< Sends dropped by partition cuts.
+  /// Largest (first receipt time - first broadcast time) over all first
+  /// receipts: the worst end-to-end propagation of any published block.
+  double worst_propagation = 0.0;
+
+  /// Per-miner fork-choice tip when the run ended.
+  std::vector<BlockId> final_tips;
+  /// True when every *honest* miner ended on the same tip (attackers
+  /// legitimately hold private leads) — the post-heal convergence
+  /// criterion. Falls back to all miners when none is honest.
+  bool converged = false;
 
   /// Canonical blocks per miner inside the accounting window
   /// (warmup_heights, tip_height - confirm_depth].

@@ -41,6 +41,7 @@ Scenario base_scenario(const ScenarioOptions& o) {
   s.gamma = o.gamma;
   s.block_interval = o.block_interval;
   s.blocks = o.blocks;
+  s.propagation = o.propagation;
   // Let the chain outgrow startup transients (and any delay-induced skew)
   // before counting; the window still covers the vast majority of a run.
   s.warmup_heights = static_cast<std::uint32_t>(
@@ -188,6 +189,102 @@ std::vector<Scenario> family_star(const ScenarioOptions& o) {
   return {s};
 }
 
+std::vector<Scenario> family_gossip_delay(const ScenarioOptions& o) {
+  // Store-and-forward along a line of honest miners with the SM1
+  // attacker at the far end: end-to-end propagation is the *sum* of the
+  // per-hop delays, so gossip pays the network diameter where a direct
+  // broadcast would pay one link. Sweeps the per-hop delay.
+  std::vector<Scenario> out;
+  for (const double fraction : {0.0, 0.005, 0.01, 0.02, 0.05}) {
+    const double hop = fraction * o.block_interval;
+    Scenario s = base_scenario(o);
+    s.name = "gossip-delay";
+    s.variant = "p=" + format("%.2f", o.p) +
+                " gamma=" + format("%.2f", o.gamma) +
+                " hop=" + format("%g", hop);
+    s.miners.push_back(sm1_spec(o.p));
+    for (MinerSpec& spec : honest_pool(std::max(2, o.honest_miners),
+                                       1.0 - o.p)) {
+      s.miners.push_back(std::move(spec));
+    }
+    s.topology = Topology::line(
+        std::vector<double>(s.miners.size() - 1, hop));
+    s.propagation = PropagationMode::kGossip;
+    s.tie_policy = TiePolicy::kGammaPerMiner;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<Scenario> family_partition_attack(const ScenarioOptions& o) {
+  // A timed split isolates part of the honest pool from the attacker's
+  // side mid-run: the minority side mines a doomed branch (stale rate
+  // jumps), the attacker races a weakened majority while the split is
+  // active, and after the heal the sides reconverge through ancestor
+  // sync. The window is given as fractions of the expected run duration.
+  SM_REQUIRE(o.partition_fraction > 0.0 && o.partition_fraction < 1.0,
+             "partition fraction must be in (0, 1), got ",
+             o.partition_fraction);
+  SM_REQUIRE(0.0 <= o.partition_start &&
+                 o.partition_start < o.partition_stop,
+             "partition window must satisfy 0 <= start < stop");
+  Scenario s = base_scenario(o);
+  s.name = "partition-attack";
+  const int honest = std::max(2, o.honest_miners);
+  const double expected_duration =
+      static_cast<double>(o.blocks) * o.block_interval;
+  PartitionWindow window;
+  window.start = o.partition_start * expected_duration;
+  window.end = o.partition_stop * expected_duration;
+  s.variant = point_label(o, o.p, o.delay) + " split=" +
+              format("%.2f", o.partition_start) + ".." +
+              format("%.2f", o.partition_stop) + " frac=" +
+              format("%.2f", o.partition_fraction);
+  s.miners.push_back(sm1_spec(o.p));
+  for (MinerSpec& spec : honest_pool(honest, 1.0 - o.p)) {
+    s.miners.push_back(std::move(spec));
+  }
+  // The attacker and the leading honest miners stay on side 0; the last
+  // ceil(fraction * honest) honest miners are cut off on side 1.
+  const int isolated = std::min(
+      honest - 1,
+      std::max(1, static_cast<int>(o.partition_fraction * honest + 0.999)));
+  window.group.assign(s.miners.size(), 0);
+  for (int i = 0; i < isolated; ++i) {
+    window.group[s.miners.size() - 1 - static_cast<std::size_t>(i)] = 1;
+  }
+  s.topology = Topology::uniform(s.miners.size(), o.delay);
+  s.topology.add_partition(std::move(window));
+  s.tie_policy = TiePolicy::kGammaPerMiner;
+  return {s};
+}
+
+std::vector<Scenario> family_asymmetric_star(const ScenarioOptions& o) {
+  // Asymmetric connectivity: the attacker sits at the hub with instant
+  // spokes; honest miners announce through a slow uplink (asymmetry x
+  // delay) but listen through a fast downlink (delay). The attacker's
+  // releases land quickly while honest blocks crawl out — a connectivity
+  // advantage that shows up directly in the effective gamma.
+  SM_REQUIRE(o.asymmetry >= 1.0, "asymmetry factor must be >= 1, got ",
+             o.asymmetry);
+  Scenario s = base_scenario(o);
+  s.name = "asymmetric-star";
+  s.variant = point_label(o, o.p, o.delay) + " asym=" +
+              format("%g", o.asymmetry);
+  s.miners.push_back(sm1_spec(o.p));
+  for (MinerSpec& spec : honest_pool(o.honest_miners, 1.0 - o.p)) {
+    s.miners.push_back(std::move(spec));
+  }
+  std::vector<double> up{0.0}, down{0.0};  // the attacker hub
+  for (std::size_t i = 1; i < s.miners.size(); ++i) {
+    up.push_back(o.delay * o.asymmetry);
+    down.push_back(o.delay);
+  }
+  s.topology = Topology::star_asymmetric(up, down);
+  s.tie_policy = TiePolicy::kGammaPerMiner;
+  return {s};
+}
+
 struct Family {
   const char* name;
   const char* description;
@@ -216,6 +313,19 @@ constexpr Family kFamilies[] = {
     {"star",
      "SM1 attacker at the hub of a star topology of honest miners",
      family_star},
+    {"gossip-delay",
+     "SM1 attacker at the end of a line of honest miners, gossip "
+     "(store-and-forward) propagation, per-hop delay swept 0..5% of the "
+     "block interval",
+     family_gossip_delay},
+    {"partition-attack",
+     "SM1 attacker vs an honest pool with a timed network split that "
+     "isolates part of the honest power mid-run (heals before the end)",
+     family_partition_attack},
+    {"asymmetric-star",
+     "SM1 attacker at the hub of an asymmetric star: honest miners "
+     "announce slowly (asymmetry x delay up) but listen fast (delay down)",
+     family_asymmetric_star},
 };
 
 }  // namespace
@@ -394,6 +504,7 @@ NetworkResult run_scenario(const PreparedScenario& prepared,
 
   NetworkConfig config;
   config.topology = scenario.topology;
+  config.propagation = scenario.propagation;
   config.block_interval = scenario.block_interval;
   config.blocks = scenario.blocks;
   config.warmup_heights = scenario.warmup_heights;

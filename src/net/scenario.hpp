@@ -41,6 +41,10 @@ struct Scenario {
   std::string variant;  ///< Point label, e.g. "p=0.30 gamma=0.50 delay=0".
   std::vector<MinerSpec> miners;
   Topology topology;
+  /// How blocks travel (direct origin-to-all vs. store-and-forward
+  /// gossip). Deliberately *not* part of the variant label: a zero-delay
+  /// gossip batch must render byte-identical CSV to its direct twin.
+  PropagationMode propagation = PropagationMode::kDirect;
   TiePolicy tie_policy = TiePolicy::kGammaShared;
   double gamma = 0.5;
   double block_interval = 600.0;
@@ -66,6 +70,18 @@ struct ScenarioOptions {
   int honest_miners = 3;     ///< Honest nodes sharing the honest power.
   int d = 2, f = 1, l = 4;   ///< Attack model for "optimal" strategies.
   std::string strategy = "optimal";  ///< Strategy of kStrategy attackers.
+  /// Propagation mode applied to every family (gossip-delay forces
+  /// kGossip regardless — it has nothing to show under direct).
+  PropagationMode propagation = PropagationMode::kDirect;
+  /// partition-attack: the split window as fractions of the expected run
+  /// duration (blocks x block_interval), and the fraction of the honest
+  /// miners cut off from the attacker's side.
+  double partition_start = 0.25;
+  double partition_stop = 0.45;
+  double partition_fraction = 0.5;
+  /// asymmetric-star: honest up-spoke (announce) delay = asymmetry x
+  /// delay, honest down-spoke (listen) delay = delay.
+  double asymmetry = 4.0;
   // Algorithm 1 precision is not a scenario property: pass it to
   // prepare_scenario / BatchOptions::epsilon.
 };

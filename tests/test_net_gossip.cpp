@@ -1,0 +1,179 @@
+// Gossip (store-and-forward) propagation tests — the tentpole's pinned
+// contracts: zero-hop-delay gossip reproduces direct-broadcast runs
+// bit-identically at the same seeds, a line topology delivers at the
+// summed per-hop delay, relays exist only under gossip, and the
+// topology generalizations (line, asymmetric star, link matrices)
+// behave as specified.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/scenario.hpp"
+#include "net/topology.hpp"
+
+namespace {
+
+net::NetworkResult run_mode(const char* family, net::PropagationMode mode,
+                            std::uint64_t seed, double delay = 0.0) {
+  net::ScenarioOptions options;
+  options.blocks = 8'000;
+  options.delay = delay;
+  options.propagation = mode;
+  const auto grid = net::make_scenarios(family, options);
+  return net::run_scenario(net::prepare_scenario(grid[0]), seed);
+}
+
+/// Everything that describes the simulated world (as opposed to the
+/// transport overhead: event/relay/duplicate counts legitimately differ
+/// between modes — gossip pushes extra copies that dedup drops).
+void expect_same_world(const net::NetworkResult& a,
+                       const net::NetworkResult& b) {
+  EXPECT_EQ(a.mine_events, b.mine_events);
+  EXPECT_EQ(a.arena_blocks, b.arena_blocks);
+  EXPECT_EQ(a.sim_time, b.sim_time);
+  EXPECT_EQ(a.tip_height, b.tip_height);
+  EXPECT_EQ(a.canonical, b.canonical);
+  EXPECT_EQ(a.counted, b.counted);
+  EXPECT_EQ(a.mined, b.mined);
+  EXPECT_EQ(a.wasted, b.wasted);
+  EXPECT_EQ(a.races, b.races);
+  EXPECT_EQ(a.races_resolved, b.races_resolved);
+  EXPECT_EQ(a.races_challenger_won, b.races_challenger_won);
+  EXPECT_EQ(a.deliveries, b.deliveries);
+  EXPECT_EQ(a.final_tips, b.final_tips);
+  EXPECT_EQ(a.worst_propagation, b.worst_propagation);
+}
+
+TEST(NetGossip, ZeroDelayGossipReproducesDirectBitIdentically) {
+  // At zero delay on a complete graph the first-receipt subsequence of
+  // the event trace is identical in both modes (relayed copies are
+  // duplicates by the time they pop), so every world observable — chain,
+  // revenue, races, times — must match bit for bit, seed by seed.
+  for (const std::uint64_t seed : {3ull, 77ull, 4242ull}) {
+    for (const char* family : {"single-sm1", "honest-uniform", "two-sm1"}) {
+      const auto direct =
+          run_mode(family, net::PropagationMode::kDirect, seed);
+      const auto gossip =
+          run_mode(family, net::PropagationMode::kGossip, seed);
+      SCOPED_TRACE(family);
+      expect_same_world(direct, gossip);
+      EXPECT_EQ(direct.relay_arrivals, 0u);
+      EXPECT_GT(gossip.relay_arrivals, 0u);
+      EXPECT_GT(gossip.duplicate_arrivals, 0u);
+    }
+  }
+}
+
+TEST(NetGossip, ZeroDelayGossipMatchesDirectForStrategyAttacker) {
+  // The MDP-strategy attacker consumes RNG on decisions; identical runs
+  // prove gossip changes the transport only, never the decision trace.
+  net::ScenarioOptions options;
+  options.blocks = 6'000;
+  options.propagation = net::PropagationMode::kDirect;
+  auto grid = net::make_scenarios("single-optimal", options);
+  const auto prepared = net::prepare_scenario(grid[0]);
+  auto gossip_scenario = grid[0];
+  gossip_scenario.propagation = net::PropagationMode::kGossip;
+  const auto gossip_prepared = net::prepare_scenario(gossip_scenario);
+  const auto direct = net::run_scenario(prepared, 17);
+  const auto gossip = net::run_scenario(gossip_prepared, 17);
+  expect_same_world(direct, gossip);
+}
+
+net::NetworkConfig line_config(net::PropagationMode mode,
+                               const std::vector<double>& hops) {
+  net::NetworkConfig config;
+  config.topology = net::Topology::line(hops);
+  config.propagation = mode;
+  config.block_interval = 600.0;
+  config.blocks = 60;
+  config.warmup_heights = 5;
+  config.confirm_depth = 2;
+  config.seed = 9;
+  return config;
+}
+
+std::vector<net::MinerSetup> one_active_miner(std::size_t nodes) {
+  // Only node 0 mines; the others exist to receive, so every block walks
+  // the whole line and the propagation time is pinned exactly.
+  std::vector<net::MinerSetup> miners;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    net::MinerSetup setup;
+    setup.agent = net::make_honest_miner(net::TiePolicy::kFirstSeen, 0.0);
+    setup.weight = i == 0 ? 1.0 : 0.0;
+    miners.push_back(std::move(setup));
+  }
+  return miners;
+}
+
+TEST(NetGossip, LineTopologyDeliversAtSummedHopDelay) {
+  // 3 miners on a line 0 -30s- 1 -50s- 2: the far node hears each block
+  // exactly 80s after broadcast, under gossip (stored-and-forwarded by
+  // the middle node) and under direct mode alike (the effective matrix
+  // is the shortest relay path).
+  const std::vector<double> hops{30.0, 50.0};
+  for (const auto mode : {net::PropagationMode::kGossip,
+                          net::PropagationMode::kDirect}) {
+    const auto result =
+        net::run_network(line_config(mode, hops), one_active_miner(3));
+    EXPECT_EQ(result.worst_propagation, 80.0)
+        << "mode " << net::to_string(mode);
+    EXPECT_GT(result.deliveries, 0u);
+    if (mode == net::PropagationMode::kGossip) {
+      // Node 2 is not adjacent to node 0: every delivery to it is a
+      // relayed hop through node 1.
+      EXPECT_GT(result.relay_arrivals, 0u);
+    } else {
+      EXPECT_EQ(result.relay_arrivals, 0u);
+    }
+  }
+}
+
+TEST(NetGossip, LongerLineSumsEveryHop) {
+  const std::vector<double> hops{10.0, 20.0, 5.0, 15.0};
+  const auto result = net::run_network(
+      line_config(net::PropagationMode::kGossip, hops),
+      one_active_miner(5));
+  EXPECT_EQ(result.worst_propagation, 50.0);
+}
+
+// ------------------------------------------------- topology primitives
+
+TEST(NetTopology, LineLinksOnlyNeighbors) {
+  const auto t = net::Topology::line({1.0, 2.0});
+  EXPECT_TRUE(t.has_link(0, 1));
+  EXPECT_TRUE(t.has_link(1, 2));
+  EXPECT_FALSE(t.has_link(0, 2));
+  EXPECT_EQ(t.link_delay(1, 2), 2.0);
+  EXPECT_EQ(t.delay(0, 2), 3.0);  // shortest path for direct mode
+  EXPECT_EQ(t.neighbors(1).size(), 2u);
+  EXPECT_EQ(t.neighbors(0).size(), 1u);
+}
+
+TEST(NetTopology, AsymmetricStarSplitsUpAndDown) {
+  const auto t = net::Topology::star_asymmetric({0.0, 8.0}, {0.0, 2.0});
+  EXPECT_EQ(t.delay(0, 1), 2.0);  // hub announces fast, spoke listens fast
+  EXPECT_EQ(t.delay(1, 0), 8.0);  // spoke announces slowly
+}
+
+TEST(NetTopology, FromLinksRunsShortestPaths) {
+  // 0 -> 1 -> 2 cheap one way, expensive direct edge the other way:
+  // the effective delay takes the relay route.
+  const double x = net::kNoLink;
+  const auto t = net::Topology::from_links({{0.0, 1.0, 9.0},
+                                            {1.0, 0.0, 1.0},
+                                            {x, 4.0, 0.0}});
+  EXPECT_EQ(t.delay(0, 2), 2.0);   // via node 1, not the 9.0 direct edge
+  EXPECT_EQ(t.delay(2, 0), 5.0);   // 2 -> 1 -> 0 (no direct link at all)
+  EXPECT_FALSE(t.has_link(2, 0));
+  EXPECT_TRUE(t.has_link(0, 2));
+}
+
+TEST(NetTopology, DisconnectedLinkGraphThrows) {
+  const double x = net::kNoLink;
+  EXPECT_THROW(net::Topology::from_links({{0.0, x}, {x, 0.0}}),
+               support::InvalidArgument);
+}
+
+}  // namespace

@@ -272,6 +272,21 @@ int cmd_network(int argc, const char* const* argv) {
   options.declare("strategy", "optimal",
                   "strategy of kStrategy attackers: optimal | honest | "
                   "never-release | file:<path>");
+  options.declare("propagation", "direct",
+                  "block propagation: direct (origin-to-all) | gossip "
+                  "(store-and-forward along topology links)");
+  options.declare("partition-start", "0.25",
+                  "partition-attack: split start as a fraction of the "
+                  "expected run duration");
+  options.declare("partition-stop", "0.45",
+                  "partition-attack: heal time as a fraction of the "
+                  "expected run duration");
+  options.declare("partition-frac", "0.5",
+                  "partition-attack: fraction of the honest miners "
+                  "isolated from the attacker's side");
+  options.declare("asymmetry", "4",
+                  "asymmetric-star: honest up-spoke delay multiplier "
+                  "(announce at asymmetry*delay, listen at delay)");
   options.declare("epsilon", "0.001", "Algorithm 1 precision");
   options.declare("runs", "8", "seeds per scenario point");
   options.declare("threads", "0", "worker threads (0 = all cores)");
@@ -303,6 +318,12 @@ int cmd_network(int argc, const char* const* argv) {
   scenario_options.f = options.get_int("f");
   scenario_options.l = options.get_int("l");
   scenario_options.strategy = options.get_string("strategy");
+  scenario_options.propagation =
+      net::propagation_from_string(options.get_string("propagation"));
+  scenario_options.partition_start = options.get_double("partition-start");
+  scenario_options.partition_stop = options.get_double("partition-stop");
+  scenario_options.partition_fraction = options.get_double("partition-frac");
+  scenario_options.asymmetry = options.get_double("asymmetry");
 
   net::BatchOptions batch_options;
   batch_options.runs_per_scenario = options.get_int("runs");
@@ -326,7 +347,7 @@ int cmd_network(int argc, const char* const* argv) {
   }
   support::Table table({"scenario", "variant", "attacker share", "ci95",
                         "stale rate", "eff. gamma", "predicted ERRev",
-                        "races"});
+                        "races", "worst prop", "relays", "syncs", "cut"});
   for (const auto& agg : aggregates) {
     table.add_row(
         {agg.name, agg.variant,
@@ -339,7 +360,11 @@ int cmd_network(int argc, const char* const* argv) {
          agg.predicted_errev == agg.predicted_errev
              ? support::format_double(agg.predicted_errev, 5)
              : "-",
-         std::to_string(agg.total_races)});
+         std::to_string(agg.total_races),
+         support::format_double(agg.worst_propagation.mean(), 2),
+         std::to_string(agg.total_relays),
+         std::to_string(agg.total_syncs),
+         std::to_string(agg.total_cut_sends)});
   }
   table.print(std::cout);
   return 0;
