@@ -17,10 +17,9 @@ int main(int argc, char** argv) {
   const bool full = options.get_bool("bench-full");
   bench::print_header("Ablation: switching probability gamma", full);
 
-  analysis::AnalysisOptions analysis_options;
-  analysis_options.epsilon = options.get_double("epsilon");
-  analysis_options.solver.method =
-      mdp::parse_solver_method(options.get_string("solver"));
+  // One analysis at a time: the whole --threads budget goes to the kernel.
+  const analysis::AnalysisOptions analysis_options =
+      bench::analysis_options(options, /*solver_threads=*/true);
 
   const double step = full ? 0.05 : 0.1;
   support::CsvWriter csv(std::cout);

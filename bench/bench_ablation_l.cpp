@@ -21,10 +21,9 @@ int main(int argc, char** argv) {
   bench::print_header(
       "Ablation: maximal fork length l (p=0.3, gamma=0.5, d=2, f=2)", full);
 
-  analysis::AnalysisOptions analysis_options;
-  analysis_options.epsilon = options.get_double("epsilon");
-  analysis_options.solver.method =
-      mdp::parse_solver_method(options.get_string("solver"));
+  // One analysis at a time: the whole --threads budget goes to the kernel.
+  const analysis::AnalysisOptions analysis_options =
+      bench::analysis_options(options, /*solver_threads=*/true);
 
   support::Table table({"l", "States", "ERRev", "Delta vs previous", "Time (s)"});
   double previous = 0.0;

@@ -28,7 +28,8 @@ support::Options standard_options(int argc, const char* const* argv,
                       (extra_help.empty() ? "" : ". " + extra_help));
   options.declare("epsilon", "0.001",
                   "binary-search precision of Algorithm 1");
-  options.declare("solver", "vi", "mean-payoff solver: vi | pi | dense");
+  options.declare("solver", "vi",
+                  "mean-payoff solver: vi | gs | pi | dense");
   options.declare("threads", "0",
                   "worker threads for parallel harness stages (0 = all "
                   "cores); also via SELFISH_THREADS");
@@ -36,6 +37,9 @@ support::Options standard_options(int argc, const char* const* argv,
                   "experiment-engine result store shared by the analysis "
                   "grids (reruns are served from cache); also via "
                   "SELFISH_CACHE_DIR");
+  options.declare("store-values", "true",
+                  "persist warm-start value vectors in the result store "
+                  "(turn off to shrink caches for huge models)");
   options.parse(argc, argv);
   return options;
 }
@@ -44,7 +48,20 @@ engine::EngineOptions engine_options(const support::Options& options) {
   engine::EngineOptions engine_options;
   engine_options.cache_dir = options.get_string("cache-dir");
   engine_options.threads = options.get_int("threads");
+  engine_options.store_values = options.get_bool("store-values");
   return engine_options;
+}
+
+analysis::AnalysisOptions analysis_options(const support::Options& options,
+                                           bool solver_threads) {
+  analysis::AnalysisOptions out;
+  out.epsilon = options.get_double("epsilon");
+  out.solver.method = mdp::parse_solver_method(options.get_string("solver"));
+  // Engine-driven grids keep per-solve threads at 1 (the chains already
+  // fan out across --threads); one-solve-at-a-time drivers hand the whole
+  // budget to the kernel's Bellman sweeps instead.
+  if (solver_threads) out.solver.threads = options.get_int("threads");
+  return out;
 }
 
 std::vector<engine::AnalysisJob> sweep_grid_jobs(

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/algorithm1.hpp"
 #include "engine/engine.hpp"
 #include "selfish/params.hpp"
 #include "support/options.hpp"
@@ -30,8 +31,16 @@ support::Options standard_options(int argc, const char* const* argv,
                                   const std::string& extra_help = "");
 
 /// Experiment-engine configuration from the shared options: --threads
-/// drives the chain fan-out, --cache-dir the result store.
+/// drives the chain fan-out, --cache-dir the result store, --store-values
+/// whether entries persist warm-start value vectors.
 engine::EngineOptions engine_options(const support::Options& options);
+
+/// Analysis configuration from the shared options (--epsilon, --solver).
+/// `solver_threads` = true additionally routes --threads into the
+/// per-solve Bellman kernel — for harnesses that run one analysis at a
+/// time; engine-driven grids pass false (chains already parallelize).
+analysis::AnalysisOptions analysis_options(const support::Options& options,
+                                           bool solver_threads);
 
 /// One warm-start chain of a p-sweep grid: a (γ, d, f) series.
 struct SweepSeries {

@@ -26,10 +26,8 @@ int main(int argc, char** argv) {
   bench::print_header(
       "Figure 2: ERRev vs adversarial resource p, one panel per gamma", full);
 
-  analysis::AnalysisOptions analysis_options;
-  analysis_options.epsilon = options.get_double("epsilon");
-  analysis_options.solver.method =
-      mdp::parse_solver_method(options.get_string("solver"));
+  const analysis::AnalysisOptions analysis_options =
+      bench::analysis_options(options, /*solver_threads=*/false);
 
   // Figure 2 is dominated by solve count: |p grid| × |γ grid| × |configs|.
   // The default grid keeps configurations with d ≤ 2 everywhere and adds

@@ -1,7 +1,14 @@
 // Solver micro-benchmarks (google-benchmark): model construction, one
-// mean-payoff solve per method, full Algorithm 1, the single-tree
-// baseline, and the stationary evaluation — the building blocks whose
-// costs compose into Table 1.
+// mean-payoff solve per method — legacy AoS reference vs the SoA
+// BellmanKernel at several thread counts — full Algorithm 1 on both
+// paths, the single-tree baseline, and the stationary evaluation: the
+// building blocks whose costs compose into Table 1.
+//
+// The kernel rows are the perf-trajectory anchors: CI's solver-perf job
+// runs this binary with --benchmark_out=BENCH_solvers.json and uploads
+// the JSON, so kernel-vs-legacy and 1-vs-N-thread ratios are recorded
+// per commit. (Results are bit-identical across all of these configs —
+// test_mdp_kernel pins that; this file only measures time.)
 #include <benchmark/benchmark.h>
 
 #include "analysis/algorithm1.hpp"
@@ -9,7 +16,7 @@
 #include "baselines/single_tree.hpp"
 #include "mdp/dense_solver.hpp"
 #include "mdp/policy_iteration.hpp"
-#include "mdp/value_iteration.hpp"
+#include "mdp/solve.hpp"
 #include "selfish/build.hpp"
 
 namespace {
@@ -32,6 +39,7 @@ BENCHMARK(BM_BuildModel)->Args({1, 1})->Args({2, 1})->Args({2, 2})
     ->Unit(benchmark::kMillisecond);
 
 void BM_ValueIteration(benchmark::State& state) {
+  // The seed's AoS path — the baseline every kernel row compares against.
   const auto model = selfish::build_model(
       params_for(static_cast<int>(state.range(0)),
                  static_cast<int>(state.range(1))));
@@ -40,9 +48,17 @@ void BM_ValueIteration(benchmark::State& state) {
     const auto result = mdp::value_iteration(model.mdp, rewards);
     benchmark::DoNotOptimize(result.gain);
   }
+  state.counters["states"] =
+      static_cast<double>(model.mdp.num_states());
 }
-BENCHMARK(BM_ValueIteration)->Args({1, 1})->Args({2, 1})->Args({2, 2})
+BENCHMARK(BM_ValueIteration)
+    ->Args({1, 1})->Args({2, 1})->Args({2, 2})->Args({3, 2})
     ->Unit(benchmark::kMillisecond);
+// The paper's heaviest configuration (≈1.2M states, ≈10.4M transitions):
+// the bandwidth-bound regime the SoA kernel targets. One iteration — a
+// solve takes tens of seconds.
+BENCHMARK(BM_ValueIteration)->Args({4, 2})
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
 
 void BM_GaussSeidel(benchmark::State& state) {
   const auto model = selfish::build_model(
@@ -55,8 +71,58 @@ void BM_GaussSeidel(benchmark::State& state) {
     benchmark::DoNotOptimize(result.gain);
   }
 }
-BENCHMARK(BM_GaussSeidel)->Args({1, 1})->Args({2, 1})->Args({2, 2})
+BENCHMARK(BM_GaussSeidel)
+    ->Args({1, 1})->Args({2, 1})->Args({2, 2})->Args({3, 2})
     ->Unit(benchmark::kMillisecond);
+
+void BM_KernelBuild(benchmark::State& state) {
+  // One-time SoA re-indexing cost, amortized over a whole analysis.
+  const auto model = selfish::build_model(
+      params_for(static_cast<int>(state.range(0)),
+                 static_cast<int>(state.range(1))));
+  for (auto _ : state) {
+    const mdp::BellmanKernel kernel(model.mdp);
+    benchmark::DoNotOptimize(kernel.memory_bytes());
+  }
+}
+BENCHMARK(BM_KernelBuild)->Args({2, 2})->Args({3, 2})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_KernelValueIteration(benchmark::State& state) {
+  // SoA kernel, threads = range(2); bit-identical to BM_ValueIteration.
+  const auto model = selfish::build_model(
+      params_for(static_cast<int>(state.range(0)),
+                 static_cast<int>(state.range(1))));
+  const mdp::BellmanKernel kernel(model.mdp);
+  const int threads = static_cast<int>(state.range(2));
+  for (auto _ : state) {
+    const auto result =
+        kernel.value_iteration(0.4, {}, nullptr, threads);
+    benchmark::DoNotOptimize(result.gain);
+  }
+}
+BENCHMARK(BM_KernelValueIteration)
+    ->Args({2, 2, 1})->Args({2, 2, 8})
+    ->Args({3, 2, 1})->Args({3, 2, 2})->Args({3, 2, 4})->Args({3, 2, 8})
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_KernelValueIteration)
+    ->Args({4, 2, 1})->Args({4, 2, 2})->Args({4, 2, 4})->Args({4, 2, 8})
+    ->Unit(benchmark::kMillisecond)->UseRealTime()->Iterations(1);
+
+void BM_KernelGaussSeidel(benchmark::State& state) {
+  const auto model = selfish::build_model(
+      params_for(static_cast<int>(state.range(0)),
+                 static_cast<int>(state.range(1))));
+  const mdp::BellmanKernel kernel(model.mdp);
+  const int threads = static_cast<int>(state.range(2));
+  for (auto _ : state) {
+    const auto result = kernel.gauss_seidel(0.4, {}, nullptr, threads);
+    benchmark::DoNotOptimize(result.gain);
+  }
+}
+BENCHMARK(BM_KernelGaussSeidel)
+    ->Args({2, 2, 1})->Args({2, 2, 8})->Args({3, 2, 1})->Args({3, 2, 8})
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_PolicyIteration(benchmark::State& state) {
   const auto model = selfish::build_model(
@@ -83,18 +149,40 @@ void BM_DensePolicyIteration(benchmark::State& state) {
 BENCHMARK(BM_DensePolicyIteration)->Unit(benchmark::kMicrosecond);
 
 void BM_Algorithm1(benchmark::State& state) {
+  // Product path: the kernel, at threads = range(2) (0 would mean all
+  // cores; explicit counts keep rows comparable across machines).
   const auto model = selfish::build_model(
       params_for(static_cast<int>(state.range(0)),
                  static_cast<int>(state.range(1))));
   analysis::AnalysisOptions options;
   options.epsilon = 1e-3;
   options.evaluate_exact_errev = false;
+  options.solver.threads = static_cast<int>(state.range(2));
   for (auto _ : state) {
     const auto result = analysis::analyze(model, options);
     benchmark::DoNotOptimize(result.errev_lower_bound);
   }
 }
-BENCHMARK(BM_Algorithm1)->Args({1, 1})->Args({2, 1})->Args({2, 2})
+BENCHMARK(BM_Algorithm1)
+    ->Args({1, 1, 1})->Args({2, 1, 1})->Args({2, 2, 1})
+    ->Args({3, 2, 1})->Args({3, 2, 8})
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_Algorithm1Legacy(benchmark::State& state) {
+  // The seed's path: AoS sweeps, a beta_rewards vector per bisection step.
+  const auto model = selfish::build_model(
+      params_for(static_cast<int>(state.range(0)),
+                 static_cast<int>(state.range(1))));
+  analysis::AnalysisOptions options;
+  options.epsilon = 1e-3;
+  options.evaluate_exact_errev = false;
+  options.solver.use_kernel = false;
+  for (auto _ : state) {
+    const auto result = analysis::analyze(model, options);
+    benchmark::DoNotOptimize(result.errev_lower_bound);
+  }
+}
+BENCHMARK(BM_Algorithm1Legacy)->Args({2, 2})->Args({3, 2})
     ->Unit(benchmark::kMillisecond);
 
 void BM_ExactErrevEvaluation(benchmark::State& state) {

@@ -21,10 +21,8 @@ int main(int argc, char** argv) {
   bench::print_header("Table 1: analysis runtimes (gamma=0.5, p=0.3, l=4)",
                       full);
 
-  analysis::AnalysisOptions analysis_options;
-  analysis_options.epsilon = options.get_double("epsilon");
-  analysis_options.solver.method =
-      mdp::parse_solver_method(options.get_string("solver"));
+  const analysis::AnalysisOptions analysis_options =
+      bench::analysis_options(options, /*solver_threads=*/false);
 
   support::Table table(
       {"Attack Type", "Parameters", "States", "Time (s)", "ERRev"});

@@ -23,9 +23,9 @@ int main(int argc, char** argv) {
       full);
 
   analysis::ThresholdOptions threshold_options;
-  threshold_options.analysis.epsilon = options.get_double("epsilon");
-  threshold_options.analysis.solver.method =
-      mdp::parse_solver_method(options.get_string("solver"));
+  // One probe at a time: the whole --threads budget goes to the kernel.
+  threshold_options.analysis =
+      bench::analysis_options(options, /*solver_threads=*/true);
   threshold_options.p_tolerance = full ? 0.0025 : 0.01;
 
   support::Table table({"Attack", "gamma", "p threshold", "probes",

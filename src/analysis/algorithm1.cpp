@@ -1,6 +1,8 @@
 #include "analysis/algorithm1.hpp"
 
 #include <cmath>
+#include <optional>
+#include <utility>
 
 #include "analysis/errev.hpp"
 #include "support/check.hpp"
@@ -16,6 +18,26 @@ AnalysisResult analyze(const selfish::SelfishModel& model,
   const support::Timer timer;
   const mdp::Mdp& m = model.mdp;
 
+  // One SoA view serves every bisection step (vi/gs only — pi/dense have
+  // no kernel implementation and keep the legacy AoS path). The kernel
+  // fuses the β-reward into the backup, so no per-step reward vector is
+  // materialized; the legacy path reuses one buffer across steps instead.
+  const bool kernel_path =
+      options.solver.use_kernel &&
+      (options.solver.method == mdp::SolverMethod::kValueIteration ||
+       options.solver.method == mdp::SolverMethod::kGaussSeidel);
+  std::optional<mdp::BellmanKernel> kernel;
+  if (kernel_path) kernel.emplace(m);
+  std::vector<double> rewards;  // legacy-path buffer, reused across steps
+
+  const auto solve_at = [&](double beta, const std::vector<double>* seed) {
+    if (kernel_path) {
+      return mdp::solve_mean_payoff(*kernel, beta, options.solver, seed);
+    }
+    m.beta_rewards_into(beta, rewards);
+    return mdp::solve_mean_payoff(m, rewards, options.solver, seed);
+  };
+
   AnalysisResult result;
   result.beta_lo = 0.0;
   result.beta_hi = 1.0;
@@ -26,13 +48,12 @@ AnalysisResult analyze(const selfish::SelfishModel& model,
 
   while (result.beta_hi - result.beta_lo >= options.epsilon) {
     const double beta = 0.5 * (result.beta_lo + result.beta_hi);
-    const mdp::MeanPayoffResult solve = mdp::solve_mean_payoff(
-        m, m.beta_rewards(beta), options.solver, seed);
+    mdp::MeanPayoffResult solve = solve_at(beta, seed);
     SM_ENSURE(solve.converged, "mean-payoff solver did not converge at beta=",
               beta);
     ++result.search_iterations;
     result.solver_iterations += solve.iterations;
-    values = solve.values;
+    values = std::move(solve.values);
     seed = values.empty() ? nullptr : &values;
 
     if (solve.gain < 0.0) {
@@ -44,12 +65,11 @@ AnalysisResult analyze(const selfish::SelfishModel& model,
   result.errev_lower_bound = result.beta_lo;
 
   // Final solve at β_lo yields the ε-optimal strategy (Theorem 3.1(2)).
-  const mdp::MeanPayoffResult final_solve = mdp::solve_mean_payoff(
-      m, m.beta_rewards(result.beta_lo), options.solver, seed);
+  mdp::MeanPayoffResult final_solve = solve_at(result.beta_lo, seed);
   SM_ENSURE(final_solve.converged, "final mean-payoff solve did not converge");
   result.solver_iterations += final_solve.iterations;
-  result.policy = final_solve.policy;
-  result.final_values = final_solve.values;
+  result.policy = std::move(final_solve.policy);
+  result.final_values = std::move(final_solve.values);
 
   if (options.evaluate_exact_errev) {
     result.errev_of_policy = exact_errev(model, result.policy);

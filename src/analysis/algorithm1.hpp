@@ -10,8 +10,12 @@
 // and the optimal strategy for r_{β_lo} achieves ERRev(σ) within the same
 // band. On top of the paper's algorithm we (a) warm-start the value vector
 // across binary-search steps (the solves differ only in β, so values barely
-// move), and (b) evaluate the *exact* ERRev of the returned strategy via
-// the stationary counter rates g_A/(g_A+g_H).
+// move), (b) evaluate the *exact* ERRev of the returned strategy via
+// the stationary counter rates g_A/(g_A+g_H), and (c) run every vi/gs
+// solve on one mdp::BellmanKernel built per analysis — the SoA view with
+// the β-reward fused into the backup, whose sweeps fan out over
+// AnalysisOptions::solver.threads workers with bit-identical results at
+// any thread count.
 #pragma once
 
 #include <vector>

@@ -34,6 +34,9 @@ namespace {
 
 /// Solver configuration slice of the canonical key (method + tolerances;
 /// everything a solve's numbers depend on besides the model).
+/// SolveOptions::threads and ::use_kernel are deliberately absent: the
+/// kernel is pinned bit-identical to the legacy path at any thread count
+/// (test_mdp_kernel), so neither knob can change a stored result.
 std::string solver_id(const analysis::AnalysisOptions& options) {
   std::string id = "eps=" + canonical_double(options.epsilon);
   id += "|solver=" + mdp::to_string(options.solver.method);

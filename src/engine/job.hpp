@@ -23,7 +23,11 @@ namespace engine {
 /// Bumped whenever a change anywhere in the model builder, Algorithm 1, or
 /// the mean-payoff solvers can alter computed results: stale store entries
 /// from older code then miss instead of serving wrong numbers.
-inline constexpr std::uint32_t kCodeVersionSalt = 1;
+/// v2: policies are captured during the final certified sweep (greedy
+/// w.r.t. that sweep's input vector) instead of by an extra extraction
+/// sweep — boundary states can pick a different ε-optimal action, so
+/// errev_of_policy may shift within the ε band.
+inline constexpr std::uint32_t kCodeVersionSalt = 2;
 
 /// One Algorithm 1 evaluation: build the model for `params`, analyze with
 /// `options`. This is the unit of work behind `analysis::sweep_p`, the

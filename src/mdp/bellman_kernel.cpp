@@ -1,0 +1,364 @@
+#include "mdp/bellman_kernel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "support/check.hpp"
+#include "support/parallel.hpp"
+
+namespace mdp {
+
+namespace {
+
+/// Below this many states per worker, extra threads cost more in barrier
+/// latency than they save; the sweep scheduler caps the worker count
+/// accordingly (outputs are thread-count invariant either way). Low
+/// enough that the d=2 test/CI models still exercise the parallel path.
+constexpr StateId kMinStatesPerWorker = 256;
+
+/// Chunk partition + optional worker pool for the synchronous sweeps of
+/// one solve. The pool lives for the whole solve, so per-sweep cost is a
+/// submit/wait cycle, not a thread spawn/join. Chunks are contiguous
+/// state ranges; several per worker so uneven action/transition counts
+/// balance out.
+class SweepRunner {
+ public:
+  SweepRunner(StateId n, int threads) {
+    int workers = support::resolve_thread_count(threads);
+    workers = static_cast<int>(std::min<StateId>(
+        static_cast<StateId>(workers),
+        std::max<StateId>(1, n / kMinStatesPerWorker)));
+    const StateId num_chunks =
+        workers > 1 ? static_cast<StateId>(workers) * 4 : 1;
+    const StateId chunk =
+        std::max<StateId>(1, (n + num_chunks - 1) / num_chunks);
+    for (StateId begin = 0; begin < n; begin += chunk) {
+      bounds_.emplace_back(begin, std::min<StateId>(begin + chunk, n));
+    }
+    if (bounds_.empty()) bounds_.emplace_back(0, 0);
+    if (workers > 1) pool_ = std::make_unique<support::ThreadPool>(workers);
+  }
+
+  std::size_t num_chunks() const { return bounds_.size(); }
+  std::pair<StateId, StateId> bounds(std::size_t c) const { return bounds_[c]; }
+
+  /// Runs fn(chunk_index) over all chunks; returns after all finish.
+  void run(const std::function<void(std::size_t)>& fn) const {
+    if (pool_ == nullptr) {
+      for (std::size_t c = 0; c < bounds_.size(); ++c) fn(c);
+      return;
+    }
+    support::parallel_for(*pool_, bounds_.size(), fn);
+  }
+
+ private:
+  std::vector<std::pair<StateId, StateId>> bounds_;
+  std::unique_ptr<support::ThreadPool> pool_;
+};
+
+void check_options(const MeanPayoffOptions& options) {
+  SM_REQUIRE(options.tau > 0.0 && options.tau < 1.0,
+             "tau must lie strictly inside (0,1): ", options.tau);
+  SM_REQUIRE(options.tol > 0.0, "tolerance must be positive");
+  SM_REQUIRE(options.max_iterations >= 1,
+             "need at least one iteration, got ", options.max_iterations);
+}
+
+}  // namespace
+
+/// Raw-pointer snapshot of the kernel's hot arrays, hoisted once per
+/// solve so the backup helper below inlines into the sweep loops with
+/// all base pointers in registers — matching the codegen of the legacy
+/// path's inline free function (a member function reading through
+/// this->mdp_ measurably did not).
+struct BellmanKernelView {
+  const ActionId* action_begin;   ///< Size num_states + 1.
+  const std::uint32_t* tr_begin;  ///< Size num_actions + 1.
+  const StateId* targets;
+  const double* probs;
+  const double* reward;
+
+  explicit BellmanKernelView(const BellmanKernel& kernel)
+      : action_begin(kernel.action_begin_.data()),
+        tr_begin(kernel.tr_begin_.data()),
+        targets(kernel.targets_.data()),
+        probs(kernel.probs_.data()),
+        reward(kernel.reward_.data()) {}
+};
+
+namespace {
+
+/// Best Q-value over the actions of `s` against `values` and the fused
+/// rewards; writes the arg-max (lowest index wins ties) to `best_action`.
+/// Bit-identical to the legacy bellman_best on beta_rewards(beta).
+inline double bellman_best(const BellmanKernelView& k, const double* values,
+                           StateId s, ActionId* best_action) {
+  double best = -std::numeric_limits<double>::infinity();
+  ActionId best_a = kInvalidAction;
+  const ActionId a_end = k.action_begin[s + 1];
+  for (ActionId a = k.action_begin[s]; a < a_end; ++a) {
+    double q = k.reward[a];
+    const std::uint32_t t_end = k.tr_begin[a + 1];
+    for (std::uint32_t i = k.tr_begin[a]; i < t_end; ++i) {
+      q += k.probs[i] * values[k.targets[i]];
+    }
+    if (q > best) {
+      best = q;
+      best_a = a;
+    }
+  }
+  *best_action = best_a;
+  return best;
+}
+
+}  // namespace
+
+BellmanKernel::BellmanKernel(const Mdp& mdp) : mdp_(&mdp) {
+  const StateId num_states = mdp.num_states();
+  const ActionId num_actions = mdp.num_actions();
+  action_begin_.resize(num_states + 1);
+  for (StateId s = 0; s < num_states; ++s) {
+    action_begin_[s] = mdp.action_begin(s);
+  }
+  action_begin_[num_states] = num_actions;
+  tr_begin_.resize(num_actions + 1);
+  targets_.resize(mdp.num_transitions());
+  probs_.resize(mdp.num_transitions());
+  adv_.resize(num_actions);
+  tot_.resize(num_actions);
+  for (ActionId a = 0; a < num_actions; ++a) {
+    tr_begin_[a] = mdp.transition_begin(a);
+    adv_[a] = mdp.expected_adversary(a);
+    // Same sum Mdp::beta_reward evaluates, frozen once: reward(a, β)
+    // reproduces beta_reward(a, β) bit for bit.
+    tot_[a] = mdp.expected_adversary(a) + mdp.expected_honest(a);
+    std::uint32_t i = mdp.transition_begin(a);
+    for (const Transition& t : mdp.transitions(a)) {
+      targets_[i] = t.target;
+      probs_[i] = t.prob;
+      ++i;
+    }
+  }
+  tr_begin_[num_actions] = static_cast<std::uint32_t>(mdp.num_transitions());
+}
+
+std::size_t BellmanKernel::memory_bytes() const {
+  return action_begin_.capacity() * sizeof(ActionId) +
+         tr_begin_.capacity() * sizeof(std::uint32_t) +
+         targets_.capacity() * sizeof(StateId) +
+         probs_.capacity() * sizeof(double) +
+         adv_.capacity() * sizeof(double) + tot_.capacity() * sizeof(double) +
+         reward_.capacity() * sizeof(double);
+}
+
+void BellmanKernel::fuse_rewards(double beta) const {
+  const ActionId num_actions = static_cast<ActionId>(adv_.size());
+  reward_.resize(num_actions);
+  for (ActionId a = 0; a < num_actions; ++a) {
+    reward_[a] = adv_[a] - beta * tot_[a];
+  }
+}
+
+MeanPayoffResult BellmanKernel::value_iteration(
+    double beta, const MeanPayoffOptions& options,
+    const std::vector<double>* warm_start, int threads) const {
+  const StateId n = mdp_->num_states();
+  check_options(options);
+  fuse_rewards(beta);
+  const BellmanKernelView kview(*this);
+
+  MeanPayoffResult result;
+  std::vector<double>& v = result.values;
+  if (warm_start != nullptr && warm_start->size() == n) {
+    v = *warm_start;
+  } else {
+    v.assign(n, 0.0);
+  }
+  std::vector<double> v_next(n, 0.0);
+  result.policy.assign(n, kInvalidAction);
+
+  const double tau = options.tau;
+  const double one_minus_tau = 1.0 - tau;
+
+  const SweepRunner sweep(n, threads);
+  std::vector<double> chunk_lo(sweep.num_chunks());
+  std::vector<double> chunk_hi(sweep.num_chunks());
+
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    sweep.run([&](std::size_t c) {
+      const auto [begin, end] = sweep.bounds(c);
+      double lo = std::numeric_limits<double>::infinity();
+      double hi = -lo;
+      for (StateId s = begin; s < end; ++s) {
+        const double bellman =
+            bellman_best(kview, v.data(), s, &result.policy[s]);
+        // Lazy update = value iteration on the transformed (aperiodic) MDP.
+        const double updated = one_minus_tau * bellman + tau * v[s];
+        const double delta = updated - v[s];
+        if (delta < lo) lo = delta;
+        if (delta > hi) hi = delta;
+        v_next[s] = updated;
+      }
+      chunk_lo[c] = lo;
+      chunk_hi[c] = hi;
+    });
+    // min/max are exact under any grouping; combining the per-chunk
+    // reductions in chunk order is for clarity, not correctness.
+    double delta_lo = std::numeric_limits<double>::infinity();
+    double delta_hi = -delta_lo;
+    for (std::size_t c = 0; c < sweep.num_chunks(); ++c) {
+      if (chunk_lo[c] < delta_lo) delta_lo = chunk_lo[c];
+      if (chunk_hi[c] > delta_hi) delta_hi = chunk_hi[c];
+    }
+    result.iterations = iter;
+    // Gain of the transformed MDP is (1−τ)·gain; undo the scaling.
+    result.gain_lo = delta_lo / one_minus_tau;
+    result.gain_hi = delta_hi / one_minus_tau;
+
+    // Renormalize to keep values bounded; uniform shifts do not affect
+    // Bellman differences.
+    const double shift = v_next[0];
+    sweep.run([&](std::size_t c) {
+      const auto [begin, end] = sweep.bounds(c);
+      for (StateId s = begin; s < end; ++s) v[s] = v_next[s] - shift;
+    });
+
+    if (result.gain_hi - result.gain_lo < options.tol) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.gain = 0.5 * (result.gain_lo + result.gain_hi);
+  // result.policy was captured by the final sweep: greedy w.r.t. the
+  // vector that sweep backed up from (within tol of the returned values'
+  // greedy policy once converged) — no extra extraction sweep needed.
+  return result;
+}
+
+MeanPayoffResult BellmanKernel::gauss_seidel(
+    double beta, const MeanPayoffOptions& options,
+    const std::vector<double>* warm_start, int threads) const {
+  const StateId n = mdp_->num_states();
+  check_options(options);
+  fuse_rewards(beta);
+  const BellmanKernelView kview(*this);
+
+  MeanPayoffResult result;
+  std::vector<double>& v = result.values;
+  if (warm_start != nullptr && warm_start->size() == n) {
+    v = *warm_start;
+  } else {
+    v.assign(n, 0.0);
+  }
+  result.policy.assign(n, kInvalidAction);
+
+  const double tau = options.tau;
+  const double one_minus_tau = 1.0 - tau;
+
+  const SweepRunner sweep(n, threads);
+  std::vector<double> chunk_lo(sweep.num_chunks());
+  std::vector<double> chunk_hi(sweep.num_chunks());
+
+  // True when result.policy is greedy w.r.t. the vector the most recent
+  // synchronous sweep read (no in-place sweep has moved v since).
+  bool policy_fresh = false;
+
+  // A synchronous Bellman sweep yields the classical arbitrary-v bounds
+  // min/max (Tv − v) on the transformed gain; we use it as the certifier
+  // (and it captures the greedy policy as a side effect).
+  std::vector<double> scratch(n, 0.0);
+  const auto certify = [&] {
+    sweep.run([&](std::size_t c) {
+      const auto [begin, end] = sweep.bounds(c);
+      double lo = std::numeric_limits<double>::infinity();
+      double hi = -lo;
+      for (StateId s = begin; s < end; ++s) {
+        const double updated =
+            one_minus_tau *
+                bellman_best(kview, v.data(), s, &result.policy[s]) +
+            tau * v[s];
+        const double delta = updated - v[s];
+        if (delta < lo) lo = delta;
+        if (delta > hi) hi = delta;
+        scratch[s] = updated;
+      }
+      chunk_lo[c] = lo;
+      chunk_hi[c] = hi;
+    });
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -lo;
+    for (std::size_t c = 0; c < sweep.num_chunks(); ++c) {
+      if (chunk_lo[c] < lo) lo = chunk_lo[c];
+      if (chunk_hi[c] > hi) hi = chunk_hi[c];
+    }
+    const double shift = scratch[0];
+    sweep.run([&](std::size_t c) {
+      const auto [begin, end] = sweep.bounds(c);
+      for (StateId s = begin; s < end; ++s) v[s] = scratch[s] - shift;
+    });
+    policy_fresh = true;
+    result.gain_lo = lo / one_minus_tau;
+    result.gain_hi = hi / one_minus_tau;
+    return result.gain_hi - result.gain_lo < options.tol;
+  };
+
+  int iter = 0;
+  // In-place backups absorb the mean-payoff drift non-uniformly, so the
+  // sweep subtracts the current gain estimate (GS on the Poisson equation;
+  // see mdp/value_iteration.cpp for the full derivation). The in-place
+  // sweep is order-dependent by construction and stays serial.
+  double gain_prime_estimate = 0.0;  // gain of the transformed MDP
+  constexpr int kCertifyEvery = 16;
+  int sweeps_since_certify = 0;
+  ActionId scratch_action = kInvalidAction;
+  while (iter < options.max_iterations) {
+    ++iter;
+    ++sweeps_since_certify;
+    policy_fresh = false;
+    double change = 0.0;
+    for (StateId s = 0; s < n; ++s) {
+      const double updated =
+          one_minus_tau * bellman_best(kview, v.data(), s, &scratch_action) +
+          tau * v[s] - gain_prime_estimate;
+      const double diff = std::fabs(updated - v[s]);
+      if (diff > change) change = diff;
+      v[s] = updated;  // in place: later states see this immediately
+    }
+    const double shift = v[0];
+    for (StateId s = 0; s < n; ++s) v[s] -= shift;
+
+    if ((change < 0.25 * options.tol ||
+         sweeps_since_certify >= kCertifyEvery) &&
+        iter < options.max_iterations) {
+      ++iter;
+      sweeps_since_certify = 0;
+      const bool done = certify();
+      gain_prime_estimate =
+          0.5 * (result.gain_lo + result.gain_hi) * one_minus_tau;
+      if (done) {
+        result.converged = true;
+        break;
+      }
+    }
+  }
+  result.iterations = iter;
+  result.gain = 0.5 * (result.gain_lo + result.gain_hi);
+  if (!policy_fresh) {
+    // Only reachable without convergence (the converged exit leaves the
+    // final certifier's policy in place): extract against the current v
+    // so the returned policy is at least self-consistent.
+    sweep.run([&](std::size_t c) {
+      const auto [begin, end] = sweep.bounds(c);
+      for (StateId s = begin; s < end; ++s) {
+        bellman_best(kview, v.data(), s, &result.policy[s]);
+      }
+    });
+  }
+  return result;
+}
+
+}  // namespace mdp

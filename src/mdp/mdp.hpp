@@ -57,6 +57,13 @@ class Mdp {
             transitions_.data() + tr_begin_[a + 1]};
   }
 
+  /// Flat CSR position of an action's transitions: [begin, end) into the
+  /// global transition order (the order transitions(a) spans walk). Used
+  /// by structure-of-arrays views (mdp::BellmanKernel) that re-index the
+  /// transition data without the 24-byte AoS stride.
+  std::uint32_t transition_begin(ActionId a) const { return tr_begin_[a]; }
+  std::uint32_t transition_end(ActionId a) const { return tr_begin_[a + 1]; }
+
   /// Expected finalized-block counters of an action:
   /// Σ_t prob(t)·counts(t), precomputed at build time.
   double expected_adversary(ActionId a) const { return exp_adv_[a]; }
@@ -69,6 +76,11 @@ class Mdp {
 
   /// Expected immediate rewards of all actions under r_β, in action order.
   std::vector<double> beta_rewards(double beta) const;
+
+  /// Same, written into `out` (resized to num_actions). Lets callers that
+  /// solve for many β values (Algorithm 1's bisection) reuse one buffer
+  /// instead of allocating a fresh vector per step.
+  void beta_rewards_into(double beta, std::vector<double>& out) const;
 
   /// Approximate heap footprint, for state-space reporting.
   std::size_t memory_bytes() const;

@@ -65,4 +65,26 @@ MeanPayoffResult solve_mean_payoff(const Mdp& mdp,
   throw support::InternalError("unhandled solver method");
 }
 
+MeanPayoffResult solve_mean_payoff(const BellmanKernel& kernel, double beta,
+                                   const SolveOptions& options,
+                                   const std::vector<double>* warm_start) {
+  switch (options.method) {
+    case SolverMethod::kValueIteration:
+      return kernel.value_iteration(beta, options.mean_payoff, warm_start,
+                                    options.threads);
+    case SolverMethod::kGaussSeidel:
+      return kernel.gauss_seidel(beta, options.mean_payoff, warm_start,
+                                 options.threads);
+    case SolverMethod::kPolicyIteration:
+    case SolverMethod::kDensePolicyIteration: {
+      // No SoA implementation: materialize the reward vector and take the
+      // AoS path (identical numbers — the fused reward is beta_reward).
+      std::vector<double> rewards;
+      kernel.mdp().beta_rewards_into(beta, rewards);
+      return solve_mean_payoff(kernel.mdp(), rewards, options, warm_start);
+    }
+  }
+  throw support::InternalError("unhandled solver method");
+}
+
 }  // namespace mdp

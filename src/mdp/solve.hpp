@@ -7,6 +7,7 @@
 
 #include <string>
 
+#include "mdp/bellman_kernel.hpp"
 #include "mdp/mdp.hpp"
 #include "mdp/policy_iteration.hpp"
 #include "mdp/value_iteration.hpp"
@@ -27,13 +28,34 @@ std::string to_string(SolverMethod method);
 struct SolveOptions {
   SolverMethod method = SolverMethod::kValueIteration;
   MeanPayoffOptions mean_payoff;  ///< Tolerances for VI / PI evaluation.
+  /// Worker threads for the kernel's synchronous Bellman sweeps (0 = all
+  /// hardware threads). Results are bit-identical at any thread count
+  /// (test_mdp_kernel), so this is pure speed — the engine's job keys
+  /// deliberately exclude it.
+  int threads = 1;
+  /// Route vi/gs solves through the SoA mdp::BellmanKernel (the fast
+  /// path). Off = the legacy AoS reference implementation; both produce
+  /// bit-identical results, so this knob too is excluded from job keys.
+  bool use_kernel = true;
 };
 
 /// Maximizes the mean payoff of `mdp` for the per-action reward vector.
 /// `warm_start` (value vector from a previous related solve) is honored by
-/// the value-iteration method and ignored by the others.
+/// the value-iteration method and ignored by the others. This entry walks
+/// the legacy AoS arrays and ignores `threads`/`use_kernel`; it is the
+/// reference path (build a BellmanKernel and use the overload below for
+/// the optimized one).
 MeanPayoffResult solve_mean_payoff(const Mdp& mdp,
                                    const std::vector<double>& action_reward,
+                                   const SolveOptions& options = {},
+                                   const std::vector<double>* warm_start = nullptr);
+
+/// Kernel path: solves for the fused reward r_β on a prebuilt SoA view,
+/// fanning sweeps over `options.threads` workers. vi/gs run on the
+/// kernel; pi/dense have no SoA implementation and fall back to the AoS
+/// path with a materialized beta_rewards vector. Bit-identical to the
+/// reference overload at any thread count.
+MeanPayoffResult solve_mean_payoff(const BellmanKernel& kernel, double beta,
                                    const SolveOptions& options = {},
                                    const std::vector<double>* warm_start = nullptr);
 

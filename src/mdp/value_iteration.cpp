@@ -46,6 +46,8 @@ MeanPayoffResult value_iteration(const Mdp& mdp,
   SM_REQUIRE(options.tau > 0.0 && options.tau < 1.0,
              "tau must lie strictly inside (0,1): ", options.tau);
   SM_REQUIRE(options.tol > 0.0, "tolerance must be positive");
+  SM_REQUIRE(options.max_iterations >= 1,
+             "need at least one iteration, got ", options.max_iterations);
 
   MeanPayoffResult result;
   std::vector<double>& v = result.values;
@@ -55,6 +57,7 @@ MeanPayoffResult value_iteration(const Mdp& mdp,
     v.assign(n, 0.0);
   }
   std::vector<double> v_next(n, 0.0);
+  result.policy.assign(n, kInvalidAction);
 
   const double tau = options.tau;
   const double one_minus_tau = 1.0 - tau;
@@ -63,7 +66,8 @@ MeanPayoffResult value_iteration(const Mdp& mdp,
     double delta_lo = std::numeric_limits<double>::infinity();
     double delta_hi = -std::numeric_limits<double>::infinity();
     for (StateId s = 0; s < n; ++s) {
-      const double bellman = bellman_best(mdp, action_reward, v, s, nullptr);
+      const double bellman =
+          bellman_best(mdp, action_reward, v, s, &result.policy[s]);
       // Lazy update = value iteration on the transformed (aperiodic) MDP.
       const double updated = one_minus_tau * bellman + tau * v[s];
       const double delta = updated - v[s];
@@ -88,10 +92,9 @@ MeanPayoffResult value_iteration(const Mdp& mdp,
   }
 
   result.gain = 0.5 * (result.gain_lo + result.gain_hi);
-  result.policy.resize(n);
-  for (StateId s = 0; s < n; ++s) {
-    bellman_best(mdp, action_reward, v, s, &result.policy[s]);
-  }
+  // result.policy was captured by the final sweep (greedy w.r.t. the
+  // vector that sweep backed up from, within tol of the returned values'
+  // greedy policy once converged) — no extra extraction sweep.
   return result;
 }
 
@@ -106,6 +109,8 @@ MeanPayoffResult gauss_seidel_value_iteration(
   SM_REQUIRE(options.tau > 0.0 && options.tau < 1.0,
              "tau must lie strictly inside (0,1): ", options.tau);
   SM_REQUIRE(options.tol > 0.0, "tolerance must be positive");
+  SM_REQUIRE(options.max_iterations >= 1,
+             "need at least one iteration, got ", options.max_iterations);
 
   MeanPayoffResult result;
   std::vector<double>& v = result.values;
@@ -114,18 +119,25 @@ MeanPayoffResult gauss_seidel_value_iteration(
   } else {
     v.assign(n, 0.0);
   }
+  result.policy.assign(n, kInvalidAction);
 
   const double tau = options.tau;
   const double one_minus_tau = 1.0 - tau;
 
+  // True when result.policy is greedy w.r.t. the vector the most recent
+  // certifying sweep read (no in-place sweep has moved v since).
+  bool policy_fresh = false;
+
   // A synchronous Bellman sweep yields the classical arbitrary-v bounds
-  // min/max (Tv − v) on the transformed gain; we use it as the certifier.
+  // min/max (Tv − v) on the transformed gain; we use it as the certifier
+  // (and it captures the greedy policy as a side effect).
   const auto certify = [&](std::vector<double>& scratch) {
     double lo = std::numeric_limits<double>::infinity();
     double hi = -lo;
     for (StateId s = 0; s < n; ++s) {
       const double updated =
-          one_minus_tau * bellman_best(mdp, action_reward, v, s, nullptr) +
+          one_minus_tau *
+              bellman_best(mdp, action_reward, v, s, &result.policy[s]) +
           tau * v[s];
       const double delta = updated - v[s];
       if (delta < lo) lo = delta;
@@ -134,6 +146,7 @@ MeanPayoffResult gauss_seidel_value_iteration(
     }
     const double shift = scratch[0];
     for (StateId s = 0; s < n; ++s) v[s] = scratch[s] - shift;
+    policy_fresh = true;
     result.gain_lo = lo / one_minus_tau;
     result.gain_hi = hi / one_minus_tau;
     return result.gain_hi - result.gain_lo < options.tol;
@@ -154,6 +167,7 @@ MeanPayoffResult gauss_seidel_value_iteration(
   while (iter < options.max_iterations) {
     ++iter;
     ++sweeps_since_certify;
+    policy_fresh = false;
     double change = 0.0;
     for (StateId s = 0; s < n; ++s) {
       const double updated =
@@ -182,9 +196,13 @@ MeanPayoffResult gauss_seidel_value_iteration(
   }
   result.iterations = iter;
   result.gain = 0.5 * (result.gain_lo + result.gain_hi);
-  result.policy.resize(n);
-  for (StateId s = 0; s < n; ++s) {
-    bellman_best(mdp, action_reward, v, s, &result.policy[s]);
+  if (!policy_fresh) {
+    // Only reachable without convergence (the converged exit leaves the
+    // final certifier's policy in place): extract against the current v
+    // so the returned policy is at least self-consistent.
+    for (StateId s = 0; s < n; ++s) {
+      bellman_best(mdp, action_reward, v, s, &result.policy[s]);
+    }
   }
   return result;
 }

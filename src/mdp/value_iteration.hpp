@@ -10,8 +10,16 @@
 //   min_s (Tv − v)(s)  ≤  gain'  ≤  max_s (Tv − v)(s)
 //
 // The returned gain is certified to lie in [gain_lo, gain_hi] with
-// gain_hi − gain_lo < tol on convergence; the greedy policy w.r.t. the
-// final value vector is returned alongside.
+// gain_hi − gain_lo < tol on convergence; the greedy policy is captured
+// during the final (certifying) sweep — arg-max w.r.t. the vector that
+// sweep backed up from, which at convergence is within tol of the greedy
+// policy of the returned values — so convergence costs no extra sweep.
+//
+// These AoS-walking implementations are the *reference* solvers: the
+// bandwidth-optimized, thread-parallel mdp::BellmanKernel
+// (bellman_kernel.hpp) is pinned bit-identical to them by
+// test_mdp_kernel, and production paths (analysis::analyze) route
+// through the kernel.
 #pragma once
 
 #include <cstdint>

@@ -77,12 +77,26 @@ void parallel_for(std::size_t n, int threads,
     return;
   }
 
+  ThreadPool pool(static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(workers), n)));
+  parallel_for(pool, n, fn);
+}
+
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn) {
+  SM_REQUIRE(fn != nullptr, "parallel_for requires a callable body");
+  if (n == 0) return;
+  if (pool.num_threads() <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
   std::vector<std::exception_ptr> errors(n);
   {
     std::atomic<std::size_t> next{0};
-    ThreadPool pool(static_cast<int>(
-        std::min<std::size_t>(static_cast<std::size_t>(workers), n)));
-    for (int w = 0; w < pool.num_threads(); ++w) {
+    const int jobs = static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(pool.num_threads()), n));
+    for (int w = 0; w < jobs; ++w) {
       pool.submit([&] {
         for (;;) {
           const std::size_t i = next.fetch_add(1);

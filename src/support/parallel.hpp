@@ -58,4 +58,14 @@ class ThreadPool {
 void parallel_for(std::size_t n, int threads,
                   const std::function<void(std::size_t)>& fn);
 
+/// Same loop on an existing pool — the per-call thread spawn/join cost
+/// disappears, which is what makes fine-grained inner loops (e.g. one
+/// Bellman sweep per call, thousands of calls per solve) affordable.
+/// Blocks until all indices finish. The pool must be private to the
+/// caller for the duration of the call: wait_idle() synchronizes on the
+/// whole pool, so unrelated concurrent submissions would be awaited too
+/// (and would interleave with this loop's jobs).
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
 }  // namespace support

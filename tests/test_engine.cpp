@@ -5,6 +5,7 @@
 // including warm-start lineage.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -40,10 +41,12 @@ struct ScratchDir {
 };
 
 std::string sweep_csv(const std::string& cache_dir, int threads,
-                      const std::vector<double>& ps = grid()) {
+                      const std::vector<double>& ps = grid(),
+                      bool store_values = true) {
   engine::EngineOptions options;
   options.cache_dir = cache_dir;
   options.threads = threads;
+  options.store_values = store_values;
   engine::Engine engine(options);
   const auto sweep =
       analysis::sweep_p(base_params(), ps, quick_options(), engine);
@@ -168,6 +171,37 @@ TEST(Engine, CorruptedAndTruncatedEntriesAreRecomputed) {
   job.options = quick_options();
   const auto outcome = engine.run({job});
   EXPECT_TRUE(outcome.front().cached);
+}
+
+TEST(Engine, StoreValuesOffProfileShrinksEntriesAndStaysIdentical) {
+  // The huge-model sweep profile: entries skip the warm-start value
+  // vectors. Chain points after a value-less hit are transparently
+  // re-solved, so resumed CSV stays byte-identical to the value-storing
+  // run — the trade is cache size for resume work.
+  ScratchDir lean_dir("selfish-engine-test-novalues");
+  ScratchDir full_dir("selfish-engine-test-withvalues");
+  const std::string lean =
+      sweep_csv(lean_dir.path, 1, grid(), /*store_values=*/false);
+  const std::string full = sweep_csv(full_dir.path, 1);
+  EXPECT_EQ(lean, full);
+
+  // Rerun against the value-less store: hits cannot seed their chain
+  // successors, so only the chain tail is served cached, and the CSV is
+  // unchanged.
+  const std::string rerun =
+      sweep_csv(lean_dir.path, 1, grid(), /*store_values=*/false);
+  EXPECT_EQ(lean, rerun);
+
+  // The lean store is measurably smaller than the value-storing one.
+  const auto store_bytes = [](const std::string& dir) {
+    std::uintmax_t total = 0;
+    for (const auto& file :
+         fs::recursive_directory_iterator(dir + "/objects")) {
+      if (file.is_regular_file()) total += file.file_size();
+    }
+    return total;
+  };
+  EXPECT_LT(store_bytes(lean_dir.path), store_bytes(full_dir.path) / 2);
 }
 
 TEST(Engine, DuplicateJobsShareOneSolve) {

@@ -87,10 +87,21 @@ selfish::SelfishModel model_from(const support::Options& options) {
                        : selfish::build_or_load_model(params, cache);
 }
 
-analysis::AnalysisOptions analysis_from(const support::Options& options) {
+/// Declares --threads for commands whose solves run one at a time (the
+/// kernel fans each Bellman sweep over the workers; sweep's --threads
+/// means engine chains instead, and its per-solve threads stay at 1).
+void declare_solver_threads(support::Options& options) {
+  options.declare("threads", "0",
+                  "Bellman-sweep worker threads per mean-payoff solve "
+                  "(0 = all cores); results are bit-identical at any count");
+}
+
+analysis::AnalysisOptions analysis_from(const support::Options& options,
+                                        int solver_threads = 1) {
   analysis::AnalysisOptions out;
   out.epsilon = options.get_double("epsilon");
   out.solver.method = mdp::parse_solver_method(options.get_string("solver"));
+  out.solver.threads = solver_threads;
   return out;
 }
 
@@ -100,11 +111,13 @@ int cmd_analyze(int argc, const char* const* argv) {
   options.declare("save-strategy", "",
                   "write the computed strategy to this file");
   options.declare("stats", "true", "print aggregate strategy statistics");
+  declare_solver_threads(options);
   if (!parse_or_help(options, argc, argv)) return 0;
 
   const auto params = params_from(options);
   const auto model = model_from(options);
-  const auto result = analysis::analyze(model, analysis_from(options));
+  const auto result = analysis::analyze(
+      model, analysis_from(options, options.get_int("threads")));
 
   std::printf("model %s: %u states, %zu transitions\n",
               params.to_string().c_str(), model.mdp.num_states(),
@@ -144,6 +157,10 @@ int cmd_sweep(int argc, const char* const* argv) {
                   "experiment-engine result store: a killed sweep resumes "
                   "from its completed grid points, reruns are served from "
                   "cache, and the CSV is byte-identical either way");
+  options.declare("store-values", "true",
+                  "persist final value vectors (warm starts) in the result "
+                  "store; turn off to shrink caches for huge models — "
+                  "resumed points after a value-less hit are re-solved");
   if (!parse_or_help(options, argc, argv)) return 0;
 
   selfish::AttackParams base = params_from(options);
@@ -154,6 +171,7 @@ int cmd_sweep(int argc, const char* const* argv) {
   engine::EngineOptions engine_options;
   engine_options.cache_dir = options.get_string("cache-dir");
   engine_options.threads = options.get_int("threads");
+  engine_options.store_values = options.get_bool("store-values");
   engine::Engine engine(engine_options);
 
   const support::Timer timer;
@@ -181,10 +199,12 @@ int cmd_threshold(int argc, const char* const* argv) {
   declare_model_options(options);
   options.declare("margin", "0.005", "excess revenue that counts as unfair");
   options.declare("ptol", "0.005", "p bracket width");
+  declare_solver_threads(options);
   if (!parse_or_help(options, argc, argv)) return 0;
 
   analysis::ThresholdOptions threshold_options;
-  threshold_options.analysis = analysis_from(options);
+  threshold_options.analysis =
+      analysis_from(options, options.get_int("threads"));
   threshold_options.unfairness_margin = options.get_double("margin");
   threshold_options.p_tolerance = options.get_double("ptol");
   const auto result =
@@ -211,6 +231,7 @@ int cmd_simulate(int argc, const char* const* argv) {
   options.declare("strategy", "optimal",
                   "optimal | honest | never-release, or a strategy file "
                   "saved by `analyze --save-strategy`");
+  declare_solver_threads(options);
   if (!parse_or_help(options, argc, argv)) return 0;
 
   const auto params = params_from(options);
@@ -220,7 +241,9 @@ int cmd_simulate(int argc, const char* const* argv) {
   std::unique_ptr<sim::Strategy> strategy;
   const std::string which = options.get_string("strategy");
   if (which == "optimal") {
-    policy = analysis::analyze(model, analysis_from(options)).policy;
+    policy = analysis::analyze(
+                 model, analysis_from(options, options.get_int("threads")))
+                 .policy;
     strategy = std::make_unique<sim::MdpPolicyStrategy>(model, policy);
   } else if (which == "honest" || which == "never-release") {
     strategy = sim::make_builtin_strategy(which);
@@ -376,12 +399,14 @@ int cmd_export(int argc, const char* const* argv) {
   options.declare("prefix", "selfish_model", "output file prefix");
   options.declare("beta", "-1",
                   "beta for the reward file; -1 = computed ERRev bound");
+  declare_solver_threads(options);
   if (!parse_or_help(options, argc, argv)) return 0;
 
   const auto model = model_from(options);
   double beta = options.get_double("beta");
   if (beta < 0.0) {
-    auto analysis_options = analysis_from(options);
+    auto analysis_options =
+        analysis_from(options, options.get_int("threads"));
     analysis_options.evaluate_exact_errev = false;
     beta = analysis::analyze(model, analysis_options).errev_lower_bound;
   }
@@ -405,12 +430,13 @@ int cmd_upper_bound(int argc, const char* const* argv) {
   declare_model_options(options);
   options.declare("lmin", "2", "smallest fork cap to analyze");
   options.declare("lmax", "5", "largest fork cap to analyze");
+  declare_solver_threads(options);
   if (!parse_or_help(options, argc, argv)) return 0;
 
   analysis::UpperBoundOptions ub_options;
   ub_options.l_min = options.get_int("lmin");
   ub_options.l_max = options.get_int("lmax");
-  ub_options.analysis = analysis_from(options);
+  ub_options.analysis = analysis_from(options, options.get_int("threads"));
   const auto result =
       analysis::bound_errev_in_l(params_from(options), ub_options);
 
