@@ -1,0 +1,174 @@
+// Load generator for the analysis service: cold-cache vs warm-cache QPS
+// and latency percentiles over a repeated-query workload.
+//
+// An in-process server is exercised over real loopback sockets (the full
+// protocol + transport stack, exactly what external clients pay). The
+// workload draws query kinds round-robin from a small set of distinct
+// point/threshold/sweep/upper-bound requests and repeats it; the cold
+// pass starts from an empty cache directory, the warm pass replays the
+// identical request stream against the populated LRU/store. The
+// acceptance target (ISSUE 5) is a >= 10x warm-vs-cold speedup on the
+// repeated workload.
+//
+//   bench_serve [--threads=0] [--bench-full]
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "support/check.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Workload {
+  std::vector<std::string> requests;  ///< One line each; repeated in order.
+};
+
+Workload make_workload(bool full) {
+  Workload workload;
+  // d=2, f=2 models: individual solves cost real time (hundreds of ms),
+  // so the cold pass measures solving and the warm pass measures the
+  // cache path — the ratio is the serving layer's value, not loopback
+  // overhead. --bench-full deepens the attack to d=3.
+  const int d = full ? 3 : 2;
+  const int f = 2;
+  // Distinct points across p: separate cache entries, one warm-start
+  // family. The set stays small so the *repeat* factor dominates — the
+  // regime an interactive dashboard or a class of users produces.
+  for (const double p : {0.15, 0.25, 0.3, 0.35}) {
+    workload.requests.push_back(
+        "{\"kind\":\"point\",\"p\":" + std::to_string(p) +
+        ",\"d\":" + std::to_string(d) + ",\"f\":" + std::to_string(f) +
+        "}");
+  }
+  workload.requests.push_back(
+      "{\"kind\":\"threshold\",\"d\":" + std::to_string(d) +
+      ",\"f\":" + std::to_string(f) + "}");
+  workload.requests.push_back(
+      "{\"kind\":\"sweep\",\"d\":" + std::to_string(d) +
+      ",\"f\":" + std::to_string(f) + ",\"pmax\":0.2}");
+  workload.requests.push_back(
+      "{\"kind\":\"upper-bound\",\"d\":" + std::to_string(d) +
+      ",\"f\":" + std::to_string(f) + ",\"lmin\":2,\"lmax\":4}");
+  return workload;
+}
+
+struct PassResult {
+  double seconds = 0.0;
+  std::vector<double> latencies;  ///< Per request, seconds.
+};
+
+double percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t index = std::min(
+      sorted.size() - 1,
+      static_cast<std::size_t>(q * static_cast<double>(sorted.size())));
+  return sorted[index];
+}
+
+/// Fans `clients` connections at the server; each replays the workload
+/// `repeat` times, interleaved round-robin so identical queries collide
+/// in flight (exercising single-flight under load).
+PassResult run_pass(int port, const Workload& workload, int clients,
+                    int repeat) {
+  PassResult result;
+  std::vector<std::vector<double>> per_client(
+      static_cast<std::size_t>(clients));
+  const support::Timer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      serve::Client client("127.0.0.1", port);
+      auto& latencies = per_client[static_cast<std::size_t>(c)];
+      for (int r = 0; r < repeat; ++r) {
+        for (const std::string& request : workload.requests) {
+          const support::Timer request_timer;
+          const serve::Reply reply = client.request(request);
+          SM_REQUIRE(reply.ok, "query failed: ", reply.error);
+          latencies.push_back(request_timer.seconds());
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  result.seconds = timer.seconds();
+  for (const auto& latencies : per_client) {
+    result.latencies.insert(result.latencies.end(), latencies.begin(),
+                            latencies.end());
+  }
+  std::sort(result.latencies.begin(), result.latencies.end());
+  return result;
+}
+
+void report(const char* label, const PassResult& pass) {
+  const double n = static_cast<double>(pass.latencies.size());
+  std::printf("%-5s %7zu requests  %8.3f s  %9.1f qps  "
+              "p50 %8.3f ms  p99 %8.3f ms\n",
+              label, pass.latencies.size(), pass.seconds, n / pass.seconds,
+              percentile(pass.latencies, 0.50) * 1e3,
+              percentile(pass.latencies, 0.99) * 1e3);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto options = bench::standard_options(
+      argc, argv,
+      "bench_serve: cold vs warm QPS/latency of the analysis service\n");
+  const bool full = options.get_bool("bench-full");
+  const int clients = 4;
+  const int repeat = full ? 16 : 8;
+
+  bench::print_header("analysis service load (cold vs warm cache)", full);
+
+  const std::string cache_dir =
+      (fs::temp_directory_path() / "bench_serve_cache").string();
+  fs::remove_all(cache_dir);
+
+  serve::ServerOptions server_options;
+  server_options.port = 0;  // ephemeral
+  server_options.service.cache_dir = cache_dir;
+  server_options.service.threads = bench::thread_count(options);
+  serve::Server server(server_options);
+  server.start();
+
+  const Workload workload = make_workload(full);
+  std::printf("workload: %zu distinct queries x %d repeats x %d clients "
+              "(port %d)\n\n",
+              workload.requests.size(), repeat, clients, server.port());
+
+  // Cold: empty store — first arrival of each distinct query solves, its
+  // repeats coalesce or hit the LRU behind it.
+  const PassResult cold = run_pass(server.port(), workload, clients, repeat);
+  report("cold", cold);
+
+  // Warm: identical stream, fully resident.
+  const PassResult warm = run_pass(server.port(), workload, clients, repeat);
+  report("warm", warm);
+
+  const serve::ServiceStats stats = server.service().stats();
+  std::printf("\nserver: %llu requests — %llu lru, %llu store, %llu solved, "
+              "%llu coalesced\n",
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.lru_hits),
+              static_cast<unsigned long long>(stats.store_hits),
+              static_cast<unsigned long long>(stats.solves),
+              static_cast<unsigned long long>(stats.coalesced));
+  std::printf("warm-vs-cold speedup: %.1fx (wall) / %.1fx (p50)\n",
+              cold.seconds / warm.seconds,
+              percentile(cold.latencies, 0.50) /
+                  std::max(1e-9, percentile(warm.latencies, 0.50)));
+
+  server.stop();
+  fs::remove_all(cache_dir);
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Generalized content-addressed jobs: the polymorphic extension of the
+// Algorithm-1-only experiment engine.
+//
+// A GenericJob is any deterministic computation identified by a kind tag
+// (dispatched through an ExecutorRegistry) plus a canonical option string
+// that pins *every* input the result depends on — the same contract
+// AnalysisJob keys obey, extended to whole composite computations:
+// threshold searches, upper-bound series, p-sweeps, and network scenario
+// batches are pure functions of their options, so their finished artifacts
+// round-trip through the same ResultStore as individual solves. The stored
+// payload is an opaque byte string (for the serving layer: the rendered
+// response artifact, byte-identical to the equivalent direct CLI output).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/job.hpp"
+#include "engine/store.hpp"
+
+namespace engine {
+
+/// One generalized job. `typed` carries the kind-specific option struct
+/// for the executor (the canonical string alone addresses the store; the
+/// executor never re-parses it).
+struct GenericJob {
+  std::string kind;     ///< Registry dispatch tag, e.g. "threshold".
+  std::string options;  ///< Canonical rendering of all result inputs.
+  std::shared_ptr<const void> typed;  ///< Kind-specific options struct.
+};
+
+/// The key of a generic job: "<kind>/v<salt>|<options>". The code-version
+/// salt is shared with analysis jobs — any result-affecting change to the
+/// model builder or solvers invalidates composite artifacts too.
+JobKey generic_job_key(const GenericJob& job);
+
+struct GenericOutcome {
+  GenericResult result;
+  bool cached = false;  ///< Served from the store (not computed this run).
+};
+
+/// Execution context handed to every executor: where composite jobs may
+/// nest their own engine runs (a sweep's per-point solves share the same
+/// cache directory) and how many worker threads they may fan out on.
+/// Neither field is part of any job key — both are pinned to not affect
+/// result bytes.
+struct ExecContext {
+  std::string cache_dir;
+  int threads = 1;
+};
+
+/// Computes a job's payload. Must be deterministic given (job, salt);
+/// ctx affects speed only.
+using Executor =
+    std::function<GenericResult(const GenericJob&, const ExecContext&)>;
+
+/// Kind tag -> executor. Registries are immutable after construction and
+/// safe to share across threads.
+class ExecutorRegistry {
+ public:
+  /// Registers `fn` for `kind`; throws on a duplicate kind.
+  void add(const std::string& kind, Executor fn);
+
+  /// Null when the kind is unknown.
+  const Executor* find(const std::string& kind) const;
+
+  /// Registered kinds, sorted (for error messages and discovery replies).
+  std::vector<std::string> kinds() const;
+
+ private:
+  std::map<std::string, Executor> executors_;
+};
+
+/// Runs `job` through `store`: a valid stored entry is returned as a hit,
+/// otherwise the registered executor computes the payload, which is
+/// persisted before returning. Throws support::InvalidArgument on an
+/// unregistered kind.
+GenericOutcome run_generic(const ExecutorRegistry& registry,
+                           const ResultStore& store, const ExecContext& ctx,
+                           const GenericJob& job);
+
+}  // namespace engine

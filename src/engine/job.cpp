@@ -30,14 +30,10 @@ std::string JobKey::hex() const {
   return buffer;
 }
 
-namespace {
-
-/// Solver configuration slice of the canonical key (method + tolerances;
-/// everything a solve's numbers depend on besides the model).
 /// SolveOptions::threads and ::use_kernel are deliberately absent: the
 /// kernel is pinned bit-identical to the legacy path at any thread count
 /// (test_mdp_kernel), so neither knob can change a stored result.
-std::string solver_id(const analysis::AnalysisOptions& options) {
+std::string solver_options_id(const analysis::AnalysisOptions& options) {
   std::string id = "eps=" + canonical_double(options.epsilon);
   id += "|solver=" + mdp::to_string(options.solver.method);
   id += "|tol=" + canonical_double(options.solver.mean_payoff.tol);
@@ -56,11 +52,9 @@ std::string model_id_without_p(const selfish::AttackParams& params) {
   return id;
 }
 
-}  // namespace
-
 std::string analysis_chain_id(const AnalysisJob& job) {
   return "analysis/v" + std::to_string(kCodeVersionSalt) + "|" +
-         model_id_without_p(job.params) + "|" + solver_id(job.options);
+         model_id_without_p(job.params) + "|" + solver_options_id(job.options);
 }
 
 JobKey analysis_job_key(const AnalysisJob& job, const JobKey* warm_parent) {

@@ -65,6 +65,15 @@ std::string canonical_double(double value);
 /// `warm_parent` (null = cold start).
 JobKey analysis_job_key(const AnalysisJob& job, const JobKey* warm_parent);
 
+/// Canonical rendering of the solver-configuration slice of a job key
+/// (method + tolerances; everything a solve's numbers depend on besides
+/// the model). Shared by every job kind that runs Algorithm 1 probes.
+std::string solver_options_id(const analysis::AnalysisOptions& options);
+
+/// Canonical rendering of the model parameters except the resource p
+/// (the warm-start chains vary p within one id).
+std::string model_id_without_p(const selfish::AttackParams& params);
+
 /// The part of an analysis job's identity that every point of one
 /// warm-start chain shares: everything except the resource p. Grid points
 /// with equal chain ids are ordered by p and seed each other's solves.

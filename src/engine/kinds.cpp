@@ -1,0 +1,228 @@
+#include "engine/kinds.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "analysis/render.hpp"
+#include "analysis/sweep.hpp"
+#include "engine/engine.hpp"
+#include "net/batch.hpp"
+#include "selfish/build.hpp"
+#include "support/check.hpp"
+
+namespace engine {
+
+namespace {
+
+/// Model identity *without* the fork cap l (the upper-bound series varies
+/// l within one job).
+std::string model_id_without_p_l(const selfish::AttackParams& params) {
+  std::string id = "gamma=" + canonical_double(params.gamma);
+  id += "|d=" + std::to_string(params.d);
+  id += "|f=" + std::to_string(params.f);
+  id += "|burn=" + std::string(params.burn_lost_races ? "1" : "0");
+  return id;
+}
+
+template <typename Query>
+GenericJob make_job(std::string kind, std::string options, Query query) {
+  GenericJob job;
+  job.kind = std::move(kind);
+  job.options = std::move(options);
+  job.typed = std::make_shared<const Query>(std::move(query));
+  return job;
+}
+
+template <typename Query>
+const Query& typed(const GenericJob& job) {
+  SM_ENSURE(job.typed != nullptr, "generic job ", job.kind,
+            " lost its typed options");
+  return *static_cast<const Query*>(job.typed.get());
+}
+
+// ------------------------------------------------------------- executors
+//
+// Every executor may fan out on ctx.threads: the Bellman kernel, the
+// engine's chain scheduler, and the batch runner are all pinned
+// bit-identical at any thread count, so ctx affects wall-clock only.
+
+GenericResult run_point(const GenericJob& job, const ExecContext& ctx) {
+  const PointQuery& query = typed<PointQuery>(job);
+  analysis::AnalysisOptions options = query.analysis;
+  options.solver.threads = ctx.threads;
+  const selfish::SelfishModel model = selfish::build_model(query.params);
+  const analysis::AnalysisResult result = analysis::analyze(model, options);
+  GenericResult out;
+  out.payload =
+      analysis::render_analysis_report(query.params, model, result,
+                                       query.stats);
+  return out;
+}
+
+GenericResult run_sweep(const GenericJob& job, const ExecContext& ctx) {
+  const SweepQuery& query = typed<SweepQuery>(job);
+  EngineOptions engine_options;
+  engine_options.cache_dir = ctx.cache_dir;
+  engine_options.threads = ctx.threads;
+  Engine engine(engine_options);
+  const analysis::SweepResult sweep = analysis::sweep_p(
+      query.base,
+      analysis::linspace_grid(query.p_min, query.p_max, query.step),
+      query.analysis, engine);
+  std::ostringstream csv;
+  analysis::write_sweep_csv(sweep, csv);
+  GenericResult out;
+  out.payload = csv.str();
+  return out;
+}
+
+GenericResult run_threshold(const GenericJob& job, const ExecContext& ctx) {
+  const ThresholdQuery& query = typed<ThresholdQuery>(job);
+  analysis::ThresholdOptions options = query.options;
+  options.analysis.solver.threads = ctx.threads;
+  const analysis::ThresholdResult result =
+      analysis::fairness_threshold(query.base, options);
+  GenericResult out;
+  out.payload = analysis::render_threshold_report(query.options, result);
+  return out;
+}
+
+GenericResult run_upper_bound(const GenericJob& job, const ExecContext& ctx) {
+  const UpperBoundQuery& query = typed<UpperBoundQuery>(job);
+  analysis::UpperBoundOptions options = query.options;
+  options.analysis.solver.threads = ctx.threads;
+  const analysis::UpperBoundResult result =
+      analysis::bound_errev_in_l(query.base, options);
+  GenericResult out;
+  out.payload = analysis::render_upper_bound_report(query.options, result);
+  return out;
+}
+
+GenericResult run_net_batch(const GenericJob& job, const ExecContext& ctx) {
+  const NetBatchQuery& query = typed<NetBatchQuery>(job);
+  net::BatchOptions batch_options;
+  batch_options.runs_per_scenario = query.runs;
+  batch_options.threads = ctx.threads;
+  batch_options.base_seed = query.seed;
+  batch_options.epsilon = query.epsilon;
+  batch_options.cache_dir = ctx.cache_dir;
+  const auto aggregates = net::run_batch(
+      net::make_scenarios(query.scenario, query.options), batch_options);
+  std::ostringstream csv;
+  net::write_batch_csv(aggregates, csv);
+  GenericResult out;
+  out.payload = csv.str();
+  return out;
+}
+
+}  // namespace
+
+GenericJob make_point_job(const PointQuery& query) {
+  query.params.validate();
+  std::string options = model_id_without_p(query.params);
+  options += "|p=" + canonical_double(query.params.p);
+  options += "|" + solver_options_id(query.analysis);
+  options += "|stats=" + std::string(query.stats ? "1" : "0");
+  return make_job("point", std::move(options), query);
+}
+
+GenericJob make_sweep_job(const SweepQuery& query) {
+  query.base.validate();
+  SM_REQUIRE(query.step > 0.0, "sweep step must be positive");
+  SM_REQUIRE(query.p_max >= query.p_min,
+             "sweep upper bound below lower bound");
+  std::string options = model_id_without_p(query.base);
+  options += "|" + solver_options_id(query.analysis);
+  options += "|pmin=" + canonical_double(query.p_min);
+  options += "|pmax=" + canonical_double(query.p_max);
+  options += "|pstep=" + canonical_double(query.step);
+  return make_job("sweep", std::move(options), query);
+}
+
+GenericJob make_threshold_job(const ThresholdQuery& query) {
+  query.base.validate();
+  SM_REQUIRE(query.options.unfairness_margin > 0.0,
+             "margin must be positive");
+  SM_REQUIRE(query.options.p_tolerance > 0.0,
+             "p tolerance must be positive");
+  SM_REQUIRE(query.options.p_max > 0.0 && query.options.p_max < 1.0,
+             "p_max out of (0,1): ", query.options.p_max);
+  std::string options = model_id_without_p(query.base);
+  options += "|" + solver_options_id(query.options.analysis);
+  options += "|margin=" + canonical_double(query.options.unfairness_margin);
+  options += "|ptol=" + canonical_double(query.options.p_tolerance);
+  options += "|pmax=" + canonical_double(query.options.p_max);
+  return make_job("threshold", std::move(options), query);
+}
+
+GenericJob make_upper_bound_job(const UpperBoundQuery& query) {
+  query.base.validate();
+  SM_REQUIRE(query.options.l_min >= 1, "l_min must be at least 1");
+  SM_REQUIRE(query.options.l_max >= query.options.l_min + 1,
+             "need at least two l values to extrapolate");
+  SM_REQUIRE(query.options.l_max <= selfish::kMaxForkLength,
+             "l_max exceeds the representable fork length");
+  std::string options = model_id_without_p_l(query.base);
+  options += "|p=" + canonical_double(query.base.p);
+  options += "|" + solver_options_id(query.options.analysis);
+  options += "|lmin=" + std::to_string(query.options.l_min);
+  options += "|lmax=" + std::to_string(query.options.l_max);
+  return make_job("upper-bound", std::move(options), query);
+}
+
+GenericJob make_net_batch_job(const NetBatchQuery& query) {
+  const auto names = net::scenario_names();
+  SM_REQUIRE(std::find(names.begin(), names.end(), query.scenario) !=
+                 names.end(),
+             "unknown scenario family ", query.scenario);
+  SM_REQUIRE(query.runs > 0, "runs must be positive, got ", query.runs);
+  SM_REQUIRE(query.options.blocks > 0, "blocks must be positive");
+  SM_REQUIRE(query.epsilon > 0.0, "epsilon must be positive");
+  // "file:<path>" strategies are CLI-only: a file's *contents* are not
+  // part of the canonical key (the artifact would silently go stale when
+  // the file changes), and jobs reach this builder from the network
+  // protocol — client-chosen strings must never open server-side paths.
+  SM_REQUIRE(query.options.strategy == "optimal" ||
+                 query.options.strategy == "honest" ||
+                 query.options.strategy == "never-release",
+             "net-batch strategy must be optimal | honest | never-release "
+             "(strategy files are not content-addressable)");
+  const net::ScenarioOptions& o = query.options;
+  std::string options = "scenario=" + query.scenario;
+  options += "|p=" + canonical_double(o.p);
+  options += "|gamma=" + canonical_double(o.gamma);
+  options += "|delay=" + canonical_double(o.delay);
+  options += "|interval=" + canonical_double(o.block_interval);
+  options += "|blocks=" + std::to_string(o.blocks);
+  options += "|honest=" + std::to_string(o.honest_miners);
+  options += "|d=" + std::to_string(o.d);
+  options += "|f=" + std::to_string(o.f);
+  options += "|l=" + std::to_string(o.l);
+  options += "|strategy=" + o.strategy;
+  options += "|prop=" + std::string(net::to_string(o.propagation));
+  options += "|pstart=" + canonical_double(o.partition_start);
+  options += "|pstop=" + canonical_double(o.partition_stop);
+  options += "|pfrac=" + canonical_double(o.partition_fraction);
+  options += "|asym=" + canonical_double(o.asymmetry);
+  options += "|runs=" + std::to_string(query.runs);
+  options += "|seed=" + std::to_string(query.seed);
+  options += "|eps=" + canonical_double(query.epsilon);
+  return make_job("net-batch", std::move(options), query);
+}
+
+const ExecutorRegistry& builtin_executors() {
+  static const ExecutorRegistry registry = [] {
+    ExecutorRegistry r;
+    r.add("point", run_point);
+    r.add("sweep", run_sweep);
+    r.add("threshold", run_threshold);
+    r.add("upper-bound", run_upper_bound);
+    r.add("net-batch", run_net_batch);
+    return r;
+  }();
+  return registry;
+}
+
+}  // namespace engine

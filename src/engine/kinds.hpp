@@ -1,0 +1,89 @@
+// The built-in generalized job kinds (see engine/generic.hpp).
+//
+// Retires the "Algorithm 1 only" limitation of the experiment engine:
+// every composite analysis the CLI offers — a point analysis, a p-sweep, a
+// fairness-threshold search, an upper-bound series, a network scenario
+// batch — is a deterministic function of its options, so each gets a typed
+// query struct, a canonical job identity, and an executor that computes
+// the rendered artifact. The artifacts are exactly the direct CLI outputs
+// (shared renderers), which is what lets the serving layer promise
+// byte-identical responses.
+//
+//   kind          artifact                        warm-start structure
+//   point         `analyze` report                cold solve
+//   sweep         `sweep` CSV                     engine warm-start chain
+//   threshold     `threshold` report              probe-to-probe values
+//   upper-bound   `upper-bound` report            per-l cold solves
+//   net-batch     `network --csv` CSV             engine-prepared grid
+//
+// A sweep or net-batch executor nests a full engine::Engine run on the
+// same cache directory, so the composite artifact *and* its per-point
+// solves are persisted — a later narrower or wider query resumes from the
+// point entries even when the composite key misses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "analysis/algorithm1.hpp"
+#include "analysis/threshold.hpp"
+#include "analysis/upper_bound.hpp"
+#include "engine/generic.hpp"
+#include "net/scenario.hpp"
+#include "selfish/params.hpp"
+
+namespace engine {
+
+/// One Algorithm 1 evaluation rendered as the `analyze` report.
+struct PointQuery {
+  selfish::AttackParams params;
+  analysis::AnalysisOptions analysis;
+  bool stats = true;  ///< Append the strategy's structural statistics.
+};
+
+/// A p-grid sweep rendered as the `sweep` CSV.
+struct SweepQuery {
+  selfish::AttackParams base;  ///< p field ignored (the grid provides it).
+  analysis::AnalysisOptions analysis;
+  double p_min = 0.0;
+  double p_max = 0.3;
+  double step = 0.05;
+};
+
+/// A fairness-threshold bisection rendered as the `threshold` report.
+struct ThresholdQuery {
+  selfish::AttackParams base;  ///< p field ignored.
+  analysis::ThresholdOptions options;
+};
+
+/// An upper-bound series over fork caps rendered as the `upper-bound`
+/// report.
+struct UpperBoundQuery {
+  selfish::AttackParams base;  ///< l field ignored.
+  analysis::UpperBoundOptions options;
+};
+
+/// A network scenario batch rendered as the `network --csv` CSV.
+struct NetBatchQuery {
+  std::string scenario = "single-optimal";
+  net::ScenarioOptions options;
+  int runs = 8;
+  std::uint64_t seed = 24141;
+  double epsilon = 1e-3;  ///< Algorithm 1 precision for "optimal" agents.
+};
+
+/// Job builders: validate the query (throwing support::InvalidArgument on
+/// out-of-range parameters or an unknown scenario) and derive the
+/// canonical identity. The returned job carries the typed query for its
+/// executor.
+GenericJob make_point_job(const PointQuery& query);
+GenericJob make_sweep_job(const SweepQuery& query);
+GenericJob make_threshold_job(const ThresholdQuery& query);
+GenericJob make_upper_bound_job(const UpperBoundQuery& query);
+GenericJob make_net_batch_job(const NetBatchQuery& query);
+
+/// The registry with every built-in kind registered (shared immutable
+/// instance; first call constructs it).
+const ExecutorRegistry& builtin_executors();
+
+}  // namespace engine

@@ -13,8 +13,9 @@ namespace engine {
 
 namespace {
 
-constexpr std::uint64_t kMagic = 0x53454c5245533031ULL;  // "SELRES01"
-constexpr std::uint64_t kMaxPayload = 1ULL << 32;        // sanity bound
+constexpr std::uint64_t kMagic = 0x53454c5245533031ULL;     // "SELRES01"
+constexpr std::uint64_t kMagicBlob = 0x53454c424c423031ULL;  // "SELBLB01"
+constexpr std::uint64_t kMaxPayload = 1ULL << 32;            // sanity bound
 
 template <typename T>
 void write_pod(std::ostream& out, const T& value) {
@@ -93,6 +94,111 @@ bool decode_payload(const std::string& payload, const JobKey& key,
          read_vector(in, result.policy) && read_vector(in, result.values);
 }
 
+std::string encode_generic(const JobKey& key, const GenericResult& result) {
+  std::ostringstream out(std::ios::binary);
+  write_pod<std::uint64_t>(out, key.canonical.size());
+  out.write(key.canonical.data(),
+            static_cast<std::streamsize>(key.canonical.size()));
+  write_pod(out, result.seconds);
+  write_pod<std::uint64_t>(out, result.payload.size());
+  out.write(result.payload.data(),
+            static_cast<std::streamsize>(result.payload.size()));
+  return out.str();
+}
+
+bool decode_generic(const std::string& payload, const JobKey& key,
+                    GenericResult& result) {
+  std::istringstream in(payload, std::ios::binary);
+  std::uint64_t key_size = 0;
+  if (!read_pod(in, key_size) || key_size > payload.size()) return false;
+  std::string canonical(key_size, '\0');
+  in.read(canonical.data(), static_cast<std::streamsize>(key_size));
+  if (!in.good() || canonical != key.canonical) return false;
+  if (!read_pod(in, result.seconds)) return false;
+  std::uint64_t body_size = 0;
+  if (!read_pod(in, body_size) || body_size > payload.size()) return false;
+  result.payload.assign(body_size, '\0');
+  if (body_size > 0) {
+    in.read(result.payload.data(), static_cast<std::streamsize>(body_size));
+    if (!in.good()) return false;
+  }
+  return true;
+}
+
+/// Reads one framed entry (magic + size + payload + FNV checksum) from
+/// `path`; any validation failure deletes the entry (the slot heals on
+/// the next store) and returns nullopt.
+std::optional<std::string> read_frame(const std::string& path,
+                                      std::uint64_t expected_magic) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return std::nullopt;
+
+  const auto reject = [&]() -> std::optional<std::string> {
+    in.close();
+    std::error_code ec;
+    std::filesystem::remove(path, ec);  // heal: recompute overwrites
+    return std::nullopt;
+  };
+
+  // A corrupted size field must reject cheaply, never allocate: bound the
+  // declared payload by what the file can actually hold (header 16 bytes
+  // + trailing 8-byte checksum).
+  std::error_code size_ec;
+  const std::uintmax_t file_size = std::filesystem::file_size(path, size_ec);
+  if (size_ec || file_size < 24 || file_size > kMaxPayload) return reject();
+
+  std::uint64_t magic = 0, payload_size = 0;
+  if (!read_pod(in, magic) || magic != expected_magic) return reject();
+  if (!read_pod(in, payload_size) || payload_size > file_size - 24) {
+    return reject();
+  }
+  std::string payload(payload_size, '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(payload_size));
+  if (!in.good()) return reject();
+  std::uint64_t checksum = 0;
+  if (!read_pod(in, checksum) ||
+      checksum != fnv1a64(payload.data(), payload.size())) {
+    return reject();
+  }
+  return payload;
+}
+
+/// Writes one framed entry to `path` via a unique temp file renamed into
+/// place: concurrent writers (including separate processes sharing one
+/// cache directory) and crashes leave complete entries or nothing.
+/// Returns false on any IO failure (best effort; callers swallow it).
+bool write_frame(const std::string& path, std::uint64_t magic,
+                 const std::string& payload) {
+  std::error_code ec;
+  std::filesystem::create_directories(
+      std::filesystem::path(path).parent_path(), ec);
+  if (ec) return false;
+
+  std::ostringstream tmp_name;
+  tmp_name << path << ".tmp." << ::getpid() << "."
+           << std::this_thread::get_id();
+  const std::string tmp = tmp_name.str();
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.good()) return false;
+    write_pod(out, magic);
+    write_pod<std::uint64_t>(out, payload.size());
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    write_pod<std::uint64_t>(out, fnv1a64(payload.data(), payload.size()));
+    if (!out.good()) {
+      out.close();
+      std::filesystem::remove(tmp, ec);
+      return false;
+    }
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
 /// Journal appends interleave from many worker threads of one process.
 std::mutex& journal_mutex() {
   static std::mutex mutex;
@@ -115,74 +221,52 @@ std::string ResultStore::journal_path() const {
 std::optional<StoredResult> ResultStore::load(const JobKey& key) const {
   if (!enabled()) return std::nullopt;
   const std::string path = entry_path(key);
-  std::ifstream in(path, std::ios::binary);
-  if (!in.good()) return std::nullopt;
+  const std::optional<std::string> payload = read_frame(path, kMagic);
+  if (!payload.has_value()) return std::nullopt;
 
-  const auto reject = [&]() -> std::optional<StoredResult> {
-    in.close();
+  StoredResult result;
+  if (!decode_payload(*payload, key, result)) {
     std::error_code ec;
     std::filesystem::remove(path, ec);  // heal: recompute overwrites
     return std::nullopt;
-  };
-
-  // A corrupted size field must reject cheaply, never allocate: bound the
-  // declared payload by what the file can actually hold (header 16 bytes
-  // + trailing 8-byte checksum).
-  std::error_code size_ec;
-  const std::uintmax_t file_size = std::filesystem::file_size(path, size_ec);
-  if (size_ec || file_size < 24 || file_size > kMaxPayload) return reject();
-
-  std::uint64_t magic = 0, payload_size = 0;
-  if (!read_pod(in, magic) || magic != kMagic) return reject();
-  if (!read_pod(in, payload_size) || payload_size > file_size - 24) {
-    return reject();
   }
-  std::string payload(payload_size, '\0');
-  in.read(payload.data(), static_cast<std::streamsize>(payload_size));
-  if (!in.good()) return reject();
-  std::uint64_t checksum = 0;
-  if (!read_pod(in, checksum) ||
-      checksum != fnv1a64(payload.data(), payload.size())) {
-    return reject();
-  }
-
-  StoredResult result;
-  if (!decode_payload(payload, key, result)) return reject();
   return result;
 }
 
 void ResultStore::store(const JobKey& key, const StoredResult& result) const {
   if (!enabled()) return;
-  const std::string path = entry_path(key);
-  std::error_code ec;
-  std::filesystem::create_directories(
-      std::filesystem::path(path).parent_path(), ec);
-  if (ec) return;
-
-  const std::string payload = encode_payload(key, result);
-  // Unique temp name per process *and* thread, renamed into place:
-  // concurrent writers (including separate sweeps sharing one cache
-  // directory) and crashes leave complete entries or nothing.
-  std::ostringstream tmp_name;
-  tmp_name << path << ".tmp." << ::getpid() << "."
-           << std::this_thread::get_id();
-  const std::string tmp = tmp_name.str();
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out.good()) return;
-    write_pod(out, kMagic);
-    write_pod<std::uint64_t>(out, payload.size());
-    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
-    write_pod<std::uint64_t>(out, fnv1a64(payload.data(), payload.size()));
-    if (!out.good()) {
-      out.close();
-      std::filesystem::remove(tmp, ec);
-      return;
-    }
+  if (!write_frame(entry_path(key), kMagic, encode_payload(key, result))) {
+    return;
   }
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    std::filesystem::remove(tmp, ec);
+
+  const std::lock_guard<std::mutex> lock(journal_mutex());
+  std::ofstream journal(journal_path(), std::ios::app);
+  if (journal.good()) {
+    journal << key.hex() << ' ' << key.canonical << '\n';
+  }
+}
+
+std::optional<GenericResult> ResultStore::load_generic(
+    const JobKey& key) const {
+  if (!enabled()) return std::nullopt;
+  const std::string path = entry_path(key);
+  const std::optional<std::string> payload = read_frame(path, kMagicBlob);
+  if (!payload.has_value()) return std::nullopt;
+
+  GenericResult result;
+  if (!decode_generic(*payload, key, result)) {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    return std::nullopt;
+  }
+  return result;
+}
+
+void ResultStore::store_generic(const JobKey& key,
+                                const GenericResult& result) const {
+  if (!enabled()) return;
+  if (!write_frame(entry_path(key), kMagicBlob,
+                   encode_generic(key, result))) {
     return;
   }
 

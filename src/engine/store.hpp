@@ -40,6 +40,14 @@ struct StoredResult {
   std::vector<double> values;
 };
 
+/// The persisted artifact of one *generic* (composite) job — see
+/// engine/generic.hpp. The payload is an opaque byte string; `seconds` is
+/// the wall-clock of the original computation, replayed on cache hits.
+struct GenericResult {
+  std::string payload;
+  double seconds = 0.0;
+};
+
 class ResultStore {
  public:
   /// An empty `dir` disables the store (every load misses, stores are
@@ -63,6 +71,13 @@ class ResultStore {
   /// Best effort: IO failures are swallowed (the sweep still completes
   /// from memory; only resumability suffers).
   void store(const JobKey& key, const StoredResult& result) const;
+
+  /// Generic-artifact twins of load/store: same directory layout, framing,
+  /// atomic-rename discipline, checksum, and canonical-key collision guard,
+  /// but a distinct magic — an analysis entry never decodes as a generic
+  /// artifact or vice versa.
+  std::optional<GenericResult> load_generic(const JobKey& key) const;
+  void store_generic(const JobKey& key, const GenericResult& result) const;
 
   /// Path of the completion journal.
   std::string journal_path() const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "net/event.hpp"
@@ -41,6 +42,7 @@ class Simulator {
     armed_lanes_.assign(n, 0);
     known_.resize(n);
     orphans_.resize(n);
+    sync_pending_.resize(n);
     result_.canonical.assign(n, 0);
     result_.mined.assign(n, 0);
     for (std::size_t i = 0; i < n; ++i) schedule_mining(static_cast<NodeId>(i));
@@ -174,12 +176,13 @@ class Simulator {
   /// Schedules one block arrival unless the edge is cut by an active
   /// partition window. Cuts apply at *send* time: a hop whose forward
   /// moment falls inside a split window is dropped, messages already in
-  /// flight when a window opens still arrive.
-  void send(EventKind kind, NodeId from, NodeId to, BlockId block,
+  /// flight when a window opens still arrive. Returns whether the
+  /// message was actually scheduled.
+  bool send(EventKind kind, NodeId from, NodeId to, BlockId block,
             double delay) {
     if (config_.topology.cut(from, to, now_)) {
       ++result_.cut_sends;
-      return;
+      return false;
     }
     Event event;
     event.time = now_ + delay;
@@ -188,6 +191,7 @@ class Simulator {
     event.from = from;
     event.block = block;
     queue_.push(event);
+    return true;
   }
 
   bool knows(NodeId node, BlockId block) const {
@@ -225,10 +229,16 @@ class Simulator {
         ++result_.duplicate_arrivals;
         return;
       }
+      // One kSync round trip per missing parent, not per orphan child —
+      // but only a fetch that was actually *scheduled* counts as in
+      // flight: a fetch dropped on a partition-cut edge must leave the
+      // retry path open, or the next child arriving after the heal could
+      // never recover the parent and the sides would stay forked.
       parked.push_back(block);
-      if (from != kNoNode) {
-        send(EventKind::kSync, from, node, parent,
-             hop_delay(node, from) + hop_delay(from, node));
+      if (from != kNoNode && sync_pending_[node].count(parent) == 0 &&
+          send(EventKind::kSync, from, node, parent,
+               hop_delay(node, from) + hop_delay(from, node))) {
+        sync_pending_[node].insert(parent);
       }
       return;
     }
@@ -285,6 +295,7 @@ class Simulator {
 
   void deliver_one(NodeId node, NodeId from, BlockId block) {
     ++result_.deliveries;
+    sync_pending_[node].erase(block);  // the awaited ancestor arrived
     note_propagation(block);
     Miner& agent = *miners_[node].agent;
     const BlockId tip_before = agent.tip();
@@ -449,6 +460,8 @@ class Simulator {
   std::vector<std::uint32_t> armed_lanes_;  ///< Lanes when last armed.
   std::vector<std::vector<char>> known_;  ///< Per node, indexed by block.
   std::vector<std::unordered_map<BlockId, std::vector<BlockId>>> orphans_;
+  /// Per node: parents with a scheduled (not cut) kSync fetch in flight.
+  std::vector<std::unordered_set<BlockId>> sync_pending_;
   std::vector<BlockId> outbox_;
   std::vector<double> first_sent_;  ///< Block -> first broadcast time (-1
                                     ///< = never entered the transport).

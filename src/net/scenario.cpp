@@ -248,7 +248,8 @@ std::vector<Scenario> family_partition_attack(const ScenarioOptions& o) {
   // ceil(fraction * honest) honest miners are cut off on side 1.
   const int isolated = std::min(
       honest - 1,
-      std::max(1, static_cast<int>(o.partition_fraction * honest + 0.999)));
+      std::max(1, static_cast<int>(
+                      std::ceil(o.partition_fraction * honest))));
   window.group.assign(s.miners.size(), 0);
   for (int i = 0; i < isolated; ++i) {
     window.group[s.miners.size() - 1 - static_cast<std::size_t>(i)] = 1;

@@ -1,0 +1,105 @@
+#include "serve/client.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "serve/socket_io.hpp"
+#include "support/check.hpp"
+
+namespace serve {
+
+Client::Client(const std::string& host, int port) {
+  SM_REQUIRE(port > 0 && port <= 65535, "port out of range: ", port);
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  SM_REQUIRE(fd_ >= 0, "socket(): ", std::strerror(errno));
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw support::InvalidArgument("invalid server address " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&address),
+                sizeof(address)) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw support::Error("cannot connect to " + host + ":" +
+                         std::to_string(port) + ": " + reason);
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string Client::request_raw(const std::string& line) {
+  std::string out = line;
+  if (out.empty() || out.back() != '\n') out.push_back('\n');
+  if (!send_all(fd_, out)) {
+    throw support::Error("connection lost while sending request");
+  }
+
+  char chunk[4096];
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string reply = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return reply;
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      throw support::Error("connection lost while awaiting response");
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+Reply decode_reply(const std::string& line) {
+  Reply reply;
+  reply.raw = Json::parse(line);
+  SM_REQUIRE(reply.raw.is_object(), "response is not a JSON object");
+  const Json* ok = reply.raw.find("ok");
+  SM_REQUIRE(ok != nullptr, "response lacks \"ok\"");
+  reply.ok = ok->as_bool();
+  if (!reply.ok) {
+    if (const Json* error = reply.raw.find("error")) {
+      reply.error = error->as_string();
+    }
+    return reply;
+  }
+  if (const Json* kind = reply.raw.find("kind")) {
+    reply.kind = kind->as_string();
+  }
+  if (const Json* body = reply.raw.find("body")) {
+    reply.body = body->as_string();
+  }
+  if (const Json* source = reply.raw.find("source")) {
+    reply.source = source->as_string();
+  }
+  if (const Json* cached = reply.raw.find("cached")) {
+    reply.cached = cached->as_bool();
+  }
+  if (const Json* seconds = reply.raw.find("seconds")) {
+    reply.seconds = seconds->as_number();
+  }
+  return reply;
+}
+
+Reply Client::request(const std::string& line) {
+  return decode_reply(request_raw(line));
+}
+
+}  // namespace serve

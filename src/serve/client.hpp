@@ -1,0 +1,49 @@
+// Blocking client for the analysis service's line protocol. Used by the
+// `selfish-mining query` subcommand, bench_serve's load generator, and
+// the end-to-end tests.
+#pragma once
+
+#include <string>
+
+#include "serve/json.hpp"
+
+namespace serve {
+
+/// A decoded response line.
+struct Reply {
+  bool ok = false;
+  std::string error;   ///< When !ok.
+  std::string kind;    ///< When ok.
+  std::string body;    ///< The rendered artifact (analysis kinds).
+  std::string source;  ///< lru | store | solve | coalesced.
+  bool cached = false;
+  double seconds = 0.0;
+  Json raw;  ///< The full response object (admin replies carry extras).
+};
+
+class Client {
+ public:
+  /// Connects immediately; throws support::Error on failure.
+  Client(const std::string& host, int port);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends one request line (newline appended if missing) and blocks for
+  /// the response line. Throws support::Error on a broken connection.
+  std::string request_raw(const std::string& line);
+
+  /// request_raw + response decoding. A transport-level failure throws; a
+  /// protocol-level error comes back as ok=false.
+  Reply request(const std::string& line);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< Bytes past the last returned line.
+};
+
+/// Parses a response line into a Reply (shared with tests).
+Reply decode_reply(const std::string& line);
+
+}  // namespace serve

@@ -1,0 +1,90 @@
+// Minimal dependency-free JSON value: parser and canonical writer.
+//
+// Exactly what the newline-delimited-JSON wire protocol needs and nothing
+// more: the five JSON types with numbers held as doubles (every protocol
+// field fits — integers up to 2^53 round-trip exactly), object keys in
+// insertion order, full string escaping, and precise parse errors with a
+// byte offset. No streaming, no comments, no extensions.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace serve {
+
+/// Thrown on malformed JSON text or on type-mismatched field access; the
+/// message is safe to echo back to the client verbatim.
+class JsonError : public support::InvalidArgument {
+ public:
+  explicit JsonError(std::string msg)
+      : support::InvalidArgument(std::move(msg)) {}
+};
+
+class Json;
+using JsonMembers = std::vector<std::pair<std::string, Json>>;
+
+/// One JSON value. Value semantics; cheap to move.
+class Json {
+ public:
+  enum class Type : std::uint8_t {
+    kNull, kBool, kNumber, kString, kArray, kObject
+  };
+
+  Json() = default;  // null
+  Json(bool value) : type_(Type::kBool), bool_(value) {}
+  Json(double value) : type_(Type::kNumber), number_(value) {}
+  Json(std::int64_t value)
+      : type_(Type::kNumber), number_(static_cast<double>(value)) {}
+  Json(std::string value) : type_(Type::kString), string_(std::move(value)) {}
+  Json(const char* value) : type_(Type::kString), string_(value) {}
+
+  static Json array(std::vector<Json> items);
+  static Json object(JsonMembers members);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw JsonError on a type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<Json>& as_array() const;
+  const JsonMembers& as_object() const;
+
+  /// Object member lookup; null when absent (objects reject duplicate
+  /// keys at parse time, so lookup is unambiguous).
+  const Json* find(const std::string& key) const;
+
+  /// Serializes to compact JSON (no whitespace). Numbers render via the
+  /// engine's canonical_double, integral values without an exponent or
+  /// trailing ".0" — stable bytes for identical values.
+  std::string dump() const;
+
+  /// Parses exactly one JSON value spanning all of `text` (trailing
+  /// whitespace allowed); throws JsonError otherwise.
+  static Json parse(const std::string& text);
+
+ private:
+  void dump_to(std::string& out) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  /// Array items or object members (indirect so Json stays movable while
+  /// incomplete-type recursion resolves).
+  std::shared_ptr<const std::vector<Json>> array_;
+  std::shared_ptr<const JsonMembers> object_;
+};
+
+/// Escapes `text` as a JSON string literal, including the quotes.
+std::string json_quote(const std::string& text);
+
+}  // namespace serve

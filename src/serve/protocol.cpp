@@ -1,0 +1,308 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <utility>
+
+#include "engine/kinds.hpp"
+#include "mdp/solve.hpp"
+#include "net/network.hpp"
+
+namespace serve {
+
+namespace {
+
+/// Typed, default-aware field access over a request object. Every field a
+/// kind understands is read exactly once; finish() rejects leftovers so
+/// typos surface as errors instead of silently applying defaults (the
+/// same contract support::Options enforces for CLI flags).
+class FieldReader {
+ public:
+  explicit FieldReader(const Json& object) : object_(object) {
+    consumed_.insert("id");
+    consumed_.insert("kind");
+  }
+
+  double number(const std::string& name, double fallback) {
+    const Json* value = take(name);
+    return value == nullptr ? fallback : value->as_number();
+  }
+
+  int integer(const std::string& name, int fallback) {
+    const Json* value = take(name);
+    if (value == nullptr) return fallback;
+    const double raw = value->as_number();
+    if (raw != std::floor(raw) || raw < -2147483648.0 || raw > 2147483647.0) {
+      throw ProtocolError("field \"" + name + "\" must be an integer");
+    }
+    return static_cast<int>(raw);
+  }
+
+  std::uint64_t unsigned64(const std::string& name, std::uint64_t fallback) {
+    const Json* value = take(name);
+    if (value == nullptr) return fallback;
+    const double raw = value->as_number();
+    if (raw != std::floor(raw) || raw < 0.0 || raw > 9.007199254740992e15) {
+      throw ProtocolError("field \"" + name +
+                          "\" must be a non-negative integer");
+    }
+    return static_cast<std::uint64_t>(raw);
+  }
+
+  bool boolean(const std::string& name, bool fallback) {
+    const Json* value = take(name);
+    return value == nullptr ? fallback : value->as_bool();
+  }
+
+  std::string string(const std::string& name, const std::string& fallback) {
+    const Json* value = take(name);
+    return value == nullptr ? fallback : value->as_string();
+  }
+
+  /// Rejects fields no reader consumed.
+  void finish() const {
+    for (const auto& [name, value] : object_.as_object()) {
+      if (consumed_.count(name) == 0) {
+        throw ProtocolError("unknown field \"" + name + "\"");
+      }
+    }
+  }
+
+ private:
+  const Json* take(const std::string& name) {
+    consumed_.insert(name);
+    return object_.find(name);
+  }
+
+  const Json& object_;
+  std::set<std::string> consumed_;
+};
+
+/// The shared model/solver fields, with the CLI subcommands' defaults.
+/// These fallbacks MUST equal the declare() defaults in
+/// tools/selfish_mining_cli.cpp — that equality is what makes an empty
+/// query byte-identical to the default subcommand invocation
+/// (test_serve's DefaultsMatchTheCliSubcommands pins this side).
+selfish::AttackParams params_from(FieldReader& fields) {
+  selfish::AttackParams params;
+  params.p = fields.number("p", 0.3);
+  params.gamma = fields.number("gamma", 0.5);
+  params.d = fields.integer("d", 2);
+  params.f = fields.integer("f", 1);
+  params.l = fields.integer("l", 4);
+  params.burn_lost_races = fields.boolean("burn-lost-races", false);
+  return params;
+}
+
+analysis::AnalysisOptions analysis_from(FieldReader& fields) {
+  analysis::AnalysisOptions options;
+  options.epsilon = fields.number("epsilon", 1e-3);
+  options.solver.method =
+      mdp::parse_solver_method(fields.string("solver", "vi"));
+  return options;
+}
+
+engine::GenericJob build_job(const std::string& kind, const Json& object) {
+  FieldReader fields(object);
+  engine::GenericJob job;
+  if (kind == "point") {
+    engine::PointQuery query;
+    query.params = params_from(fields);
+    query.analysis = analysis_from(fields);
+    query.stats = fields.boolean("stats", true);
+    fields.finish();
+    job = engine::make_point_job(query);
+  } else if (kind == "sweep") {
+    engine::SweepQuery query;
+    query.base = params_from(fields);
+    query.analysis = analysis_from(fields);
+    query.p_min = fields.number("pmin", 0.0);
+    query.p_max = fields.number("pmax", 0.3);
+    query.step = fields.number("step", 0.05);
+    fields.finish();
+    job = engine::make_sweep_job(query);
+  } else if (kind == "threshold") {
+    engine::ThresholdQuery query;
+    query.base = params_from(fields);
+    query.options.analysis = analysis_from(fields);
+    query.options.unfairness_margin = fields.number("margin", 0.005);
+    query.options.p_tolerance = fields.number("ptol", 0.005);
+    fields.finish();
+    job = engine::make_threshold_job(query);
+  } else if (kind == "upper-bound") {
+    engine::UpperBoundQuery query;
+    query.base = params_from(fields);
+    query.options.analysis = analysis_from(fields);
+    query.options.l_min = fields.integer("lmin", 2);
+    query.options.l_max = fields.integer("lmax", 5);
+    fields.finish();
+    job = engine::make_upper_bound_job(query);
+  } else if (kind == "net-batch") {
+    engine::NetBatchQuery query;
+    query.scenario = fields.string("scenario", "single-optimal");
+    query.options.p = fields.number("p", 0.3);
+    query.options.gamma = fields.number("gamma", 0.5);
+    query.options.delay = fields.number("delay", 0.0);
+    query.options.block_interval = fields.number("interval", 600.0);
+    query.options.blocks = fields.unsigned64("blocks", 100000);
+    query.options.honest_miners = fields.integer("honest", 3);
+    query.options.d = fields.integer("d", 2);
+    query.options.f = fields.integer("f", 1);
+    query.options.l = fields.integer("l", 4);
+    query.options.strategy = fields.string("strategy", "optimal");
+    query.options.propagation = net::propagation_from_string(
+        fields.string("propagation", "direct"));
+    query.options.partition_start = fields.number("partition-start", 0.25);
+    query.options.partition_stop = fields.number("partition-stop", 0.45);
+    query.options.partition_fraction =
+        fields.number("partition-frac", 0.5);
+    query.options.asymmetry = fields.number("asymmetry", 4.0);
+    query.runs = fields.integer("runs", 8);
+    query.seed = fields.unsigned64("seed", 24141);
+    query.epsilon = fields.number("epsilon", 1e-3);
+    fields.finish();
+    job = engine::make_net_batch_job(query);
+  } else {
+    throw ProtocolError(
+        "unknown kind \"" + kind +
+        "\" (expected point | sweep | threshold | upper-bound | "
+        "net-batch | ping | stats | shutdown)");
+  }
+  return job;
+}
+
+/// Prefixes the echoed id when the client sent one.
+JsonMembers reply_head(const Json& id, bool ok) {
+  JsonMembers members;
+  if (!id.is_null()) members.emplace_back("id", id);
+  members.emplace_back("ok", Json(ok));
+  return members;
+}
+
+std::string finish_reply(JsonMembers members) {
+  return Json::object(std::move(members)).dump() + "\n";
+}
+
+std::string render_stats(const Json& id, const ServiceStats& stats) {
+  JsonMembers members = reply_head(id, true);
+  members.emplace_back("kind", Json("stats"));
+  members.emplace_back("requests",
+                       Json(static_cast<double>(stats.requests)));
+  members.emplace_back("lru_hits",
+                       Json(static_cast<double>(stats.lru_hits)));
+  members.emplace_back("store_hits",
+                       Json(static_cast<double>(stats.store_hits)));
+  members.emplace_back("solves", Json(static_cast<double>(stats.solves)));
+  members.emplace_back("coalesced",
+                       Json(static_cast<double>(stats.coalesced)));
+  members.emplace_back("errors", Json(static_cast<double>(stats.errors)));
+  members.emplace_back("rejected",
+                       Json(static_cast<double>(stats.rejected)));
+  members.emplace_back("lru_evictions",
+                       Json(static_cast<double>(stats.lru_evictions)));
+  members.emplace_back("lru_bytes",
+                       Json(static_cast<double>(stats.lru_bytes)));
+  members.emplace_back("lru_entries",
+                       Json(static_cast<double>(stats.lru_entries)));
+  return finish_reply(std::move(members));
+}
+
+/// Parses an already-decoded request object.
+Request parse_request_object(const Json& object) {
+  if (!object.is_object()) {
+    throw ProtocolError("request must be a JSON object");
+  }
+  Request request;
+  if (const Json* id = object.find("id")) request.id = *id;
+  const Json* kind = object.find("kind");
+  if (kind == nullptr) throw ProtocolError("missing \"kind\"");
+  request.kind = kind->as_string();
+  if (request.kind == "ping" || request.kind == "stats" ||
+      request.kind == "shutdown") {
+    request.admin = true;
+    FieldReader fields(object);
+    fields.finish();  // admin requests take no options
+    return request;
+  }
+  request.job = build_job(request.kind, object);
+  return request;
+}
+
+}  // namespace
+
+Request parse_request(const std::string& line) {
+  return parse_request_object(Json::parse(line));
+}
+
+std::string render_result(const Json& id, const std::string& kind,
+                          const QueryOutcome& outcome) {
+  JsonMembers members = reply_head(id, true);
+  members.emplace_back("kind", Json(kind));
+  members.emplace_back("cached", Json(outcome.cached));
+  members.emplace_back("source", Json(to_string(outcome.source)));
+  members.emplace_back("seconds", Json(outcome.seconds));
+  // The body is spliced in behind the metadata so the (possibly multi-
+  // megabyte, shared) artifact is escaped straight into the reply instead
+  // of passing through an intermediate Json string copy.
+  std::string reply = Json::object(std::move(members)).dump();
+  reply.pop_back();  // reopen the object: drop '}'
+  reply += ",\"body\":";
+  static const std::string kEmptyBody;
+  reply += json_quote(outcome.payload == nullptr ? kEmptyBody
+                                                 : *outcome.payload);
+  reply += "}\n";
+  return reply;
+}
+
+std::string render_error(const Json& id, const std::string& message) {
+  JsonMembers members = reply_head(id, false);
+  members.emplace_back("error", Json(message));
+  return finish_reply(std::move(members));
+}
+
+HandledLine handle_request(Service& service, const std::string& line) {
+  HandledLine handled;
+  Json id;
+  Request request;
+  try {
+    const Json object = Json::parse(line);
+    // Echo the id even when validation below rejects the request.
+    if (object.is_object()) {
+      if (const Json* sent = object.find("id")) id = *sent;
+    }
+    request = parse_request_object(object);
+  } catch (const std::exception& e) {
+    // Rejected before reaching the service — count it there anyway, or
+    // the operator-facing stats would show zero errors under a stream of
+    // malformed/abusive requests.
+    service.note_rejected();
+    handled.reply = render_error(id, e.what());
+    return handled;
+  }
+  try {
+    if (request.admin) {
+      if (request.kind == "stats") {
+        handled.reply = render_stats(id, service.stats());
+        return handled;
+      }
+      handled.shutdown = request.kind == "shutdown";
+      JsonMembers members = reply_head(id, true);
+      members.emplace_back("kind", Json(request.kind));
+      handled.reply = finish_reply(std::move(members));
+      return handled;
+    }
+    // execute() counts these requests and failures itself.
+    const QueryOutcome outcome = service.execute(request.job);
+    handled.reply = render_result(id, request.kind, outcome);
+  } catch (const std::exception& e) {
+    handled.reply = render_error(id, e.what());
+  }
+  return handled;
+}
+
+std::string handle_line(Service& service, const std::string& line) {
+  return handle_request(service, line).reply;
+}
+
+}  // namespace serve

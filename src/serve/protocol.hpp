@@ -1,0 +1,76 @@
+// The wire protocol of the analysis service: newline-delimited JSON.
+//
+// One request per line, one response line per request, processed in order
+// per connection. Requests name a job kind plus the same options the CLI
+// subcommands take (same names, same defaults); the response's `body` is
+// the rendered artifact, byte-identical to the direct CLI output.
+//
+//   -> {"id":1,"kind":"threshold","gamma":0.5,"d":2,"f":1}
+//   <- {"id":1,"ok":true,"kind":"threshold","cached":false,
+//       "source":"solve","seconds":2.41,"body":"attack becomes ...\n"}
+//
+// Analysis kinds — point, sweep, threshold, upper-bound, net-batch — are
+// dispatched through the serving core (LRU, single-flight, store, solve).
+// Admin kinds — ping, stats, shutdown — answer from the server itself.
+// Any failure (malformed JSON, unknown kind or field, out-of-range
+// parameters, executor error) produces {"ok":false,"error":...} on the
+// same line slot; the connection stays usable.
+//
+// This module is transport-free: handle_line maps a request line to a
+// response line given a Service, so tests exercise the full protocol
+// without sockets and the server stays a pure byte shuttle.
+#pragma once
+
+#include <string>
+
+#include "engine/generic.hpp"
+#include "serve/json.hpp"
+#include "serve/service.hpp"
+
+namespace serve {
+
+/// Thrown on protocol-level violations (the message is the error reply).
+class ProtocolError : public support::InvalidArgument {
+ public:
+  explicit ProtocolError(std::string msg)
+      : support::InvalidArgument(std::move(msg)) {}
+};
+
+/// A parsed request: the echoed id (null when the client sent none), the
+/// kind tag, and — for analysis kinds — the content-addressed job.
+struct Request {
+  Json id;
+  std::string kind;
+  engine::GenericJob job;  ///< Empty kind for admin requests.
+  bool admin = false;      ///< ping | stats | shutdown.
+};
+
+/// Parses and validates one request line. Throws ProtocolError (or
+/// JsonError / support::InvalidArgument from deeper validation) with a
+/// client-safe message.
+Request parse_request(const std::string& line);
+
+/// Response renderers; every returned string is one line ending in '\n'.
+std::string render_result(const Json& id, const std::string& kind,
+                          const QueryOutcome& outcome);
+std::string render_error(const Json& id, const std::string& message);
+
+/// The reply line plus the one side effect a request can carry. The
+/// transport must write `reply` to the client *before* acting on
+/// `shutdown` — acting first would race the server teardown against the
+/// in-flight response bytes.
+struct HandledLine {
+  std::string reply;
+  bool shutdown = false;
+};
+
+/// The full request->response mapping: parse, dispatch to `service` (or
+/// answer admin requests in place), render. Never throws — every failure
+/// renders as an error reply.
+HandledLine handle_request(Service& service, const std::string& line);
+
+/// handle_request without the side-effect channel (tests, one-shot
+/// embedders): a shutdown request is answered but has no effect.
+std::string handle_line(Service& service, const std::string& line);
+
+}  // namespace serve

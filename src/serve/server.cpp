@@ -1,0 +1,206 @@
+#include "serve/server.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "engine/kinds.hpp"
+#include "serve/protocol.hpp"
+#include "serve/socket_io.hpp"
+#include "support/check.hpp"
+
+namespace serve {
+
+Server::Server(ServerOptions options)
+    : Server(std::move(options), engine::builtin_executors()) {}
+
+Server::Server(ServerOptions options,
+               const engine::ExecutorRegistry& registry)
+    : options_(std::move(options)) {
+  SM_REQUIRE(options_.port >= 0 && options_.port <= 65535,
+             "port out of range: ", options_.port);
+  service_ = std::make_unique<Service>(options_.service, registry);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  SM_REQUIRE(listen_fd_ >= 0, "socket(): ", std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &address.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw support::InvalidArgument("invalid bind address " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&address),
+             sizeof(address)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw support::Error("cannot listen on " + options_.host + ":" +
+                         std::to_string(options_.port) + ": " + reason);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_size = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_size) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+}
+
+Server::~Server() { stop(); }
+
+void Server::request_stop() {
+  stopping_.store(true);
+  // shutdown() is async-signal-safe and makes the blocking accept()
+  // return; close() happens later in stop() on a normal thread.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+}
+
+void Server::serve_forever() { accept_loop(); }
+
+void Server::start() {
+  SM_REQUIRE(!accept_thread_.joinable(), "server already started");
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::accept_loop() {
+  while (!stopping_.load()) {
+    sockaddr_in peer{};
+    socklen_t peer_size = sizeof(peer);
+    const int fd = ::accept(
+        listen_fd_, reinterpret_cast<sockaddr*>(&peer), &peer_size);
+    if (fd < 0) {
+      // Transient conditions must not kill a long-running service: a
+      // client aborting mid-handshake (ECONNABORTED/EPROTO) or a
+      // descriptor-exhaustion burst (EMFILE/ENFILE — back off briefly so
+      // in-flight connections can drain) are all recoverable.
+      if (errno == EINTR || errno == ECONNABORTED || errno == EPROTO) {
+        continue;
+      }
+      if (errno == EMFILE || errno == ENFILE) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        continue;
+      }
+      break;  // listening socket shut down (stop) or fatal error
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    if (stopping_.load()) {
+      ::close(fd);
+      break;
+    }
+    // Reap finished connections so a long-lived server does not
+    // accumulate one parked thread per past client.
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      if ((*it)->closed.load()) {
+        if ((*it)->thread.joinable()) (*it)->thread.join();
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    auto connection = std::make_unique<Connection>();
+    connection->fd = fd;
+    Connection* raw = connection.get();
+    connections_.push_back(std::move(connection));
+    raw->thread = std::thread([this, raw] { handle_connection(raw); });
+  }
+}
+
+void Server::close_connection(Connection* connection) {
+  const std::lock_guard<std::mutex> lock(connections_mutex_);
+  if (!connection->closed.exchange(true)) ::close(connection->fd);
+}
+
+void Server::handle_connection(Connection* connection) {
+  // Legitimate requests are one short JSON line; a peer streaming bytes
+  // with no newline must not grow the buffer without bound.
+  constexpr std::size_t kMaxLineBytes = 1 << 20;
+
+  const int fd = connection->fd;
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open && !stopping_.load()) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;  // client closed, connection reset, or stop()'s shutdown
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    if (buffer.size() > kMaxLineBytes &&
+        buffer.find('\n') == std::string::npos) {
+      send_all(fd, render_error(Json(), "request line exceeds 1 MiB"));
+      break;
+    }
+    std::size_t start = 0;
+    for (std::size_t newline = buffer.find('\n', start);
+         open && newline != std::string::npos;
+         newline = buffer.find('\n', start)) {
+      std::string line = buffer.substr(start, newline - start);
+      start = newline + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      const HandledLine handled = handle_request(*service_, line);
+      // Reply first: acting on shutdown before the bytes are out would
+      // race teardown against the client's read of this very response.
+      open = send_all(fd, handled.reply);
+      if (handled.shutdown) {
+        request_stop();
+        open = false;
+      }
+    }
+    buffer.erase(0, start);
+  }
+  close_connection(connection);
+}
+
+void Server::stop() {
+  request_stop();
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // Unblock every connection thread stuck in recv — read side only, so a
+  // thread mid-solve can still deliver its in-flight reply before it
+  // exits (the drain the CLI promises on SIGTERM). Shutdown (not close)
+  // under the mutex: connection threads close their own fd under the same
+  // mutex, so a shut-down fd is always still theirs — never a recycled
+  // descriptor belonging to someone else in this process.
+  {
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (const auto& connection : connections_) {
+      if (!connection->closed.load()) {
+        ::shutdown(connection->fd, SHUT_RD);
+      }
+    }
+  }
+  for (;;) {
+    std::unique_ptr<Connection> connection;
+    {
+      const std::lock_guard<std::mutex> lock(connections_mutex_);
+      if (connections_.empty()) break;
+      connection = std::move(connections_.back());
+      connections_.pop_back();
+    }
+    if (connection->thread.joinable()) connection->thread.join();
+    if (!connection->closed.exchange(true)) ::close(connection->fd);
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+}  // namespace serve

@@ -1,0 +1,88 @@
+// TCP transport of the analysis service.
+//
+// A deliberately small, dependency-free server: one listening socket, one
+// accept loop, one std::thread per connection reading newline-delimited
+// requests and writing the protocol's response lines. Concurrency control
+// lives in the Service (its thread pool bounds simultaneous solves and
+// single-flight coalesces duplicates), so connection threads are cheap —
+// they mostly block on a flight or on the socket.
+//
+// The server binds loopback by default: the protocol is unauthenticated,
+// so exposure beyond the host must be an explicit operator choice
+// (--host=0.0.0.0) behind whatever transport security the deployment
+// provides.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service.hpp"
+
+namespace serve {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;  ///< 0 = ephemeral; the bound port is Server::port().
+  ServiceOptions service;
+};
+
+class Server {
+ public:
+  /// Binds and listens immediately (throws support::Error on failure);
+  /// serving starts with start() or serve_forever().
+  explicit Server(ServerOptions options);
+  Server(ServerOptions options, const engine::ExecutorRegistry& registry);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The actually bound port (resolves port 0).
+  int port() const { return port_; }
+
+  Service& service() { return *service_; }
+
+  /// Runs the accept loop on the calling thread until stop() — or a
+  /// client's "shutdown" request — ends it.
+  void serve_forever();
+
+  /// Runs the accept loop on a background thread (tests, benches).
+  void start();
+
+  /// Leaves the accept loop, closes every connection, joins all threads.
+  /// Idempotent. Async-signal-unsafe (use request_stop from handlers).
+  void stop();
+
+  /// Signal-handler-safe stop trigger: shuts the listening socket down so
+  /// the accept loop exits; the owner then runs stop() normally.
+  void request_stop();
+
+ private:
+  /// One live client. The fd is closed exactly once, always under
+  /// connections_mutex_ (see stop() for why that discipline matters).
+  struct Connection {
+    int fd = -1;
+    std::atomic<bool> closed{false};
+    std::thread thread;
+  };
+
+  void accept_loop();
+  void handle_connection(Connection* connection);
+  void close_connection(Connection* connection);
+
+  ServerOptions options_;
+  std::unique_ptr<Service> service_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+
+  std::mutex connections_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace serve

@@ -1,0 +1,173 @@
+#include "serve/service.hpp"
+
+#include <utility>
+
+#include "engine/kinds.hpp"
+#include "support/check.hpp"
+#include "support/timer.hpp"
+
+namespace serve {
+
+const char* to_string(Source source) {
+  switch (source) {
+    case Source::kLru: return "lru";
+    case Source::kStore: return "store";
+    case Source::kSolve: return "solve";
+    case Source::kCoalesced: return "coalesced";
+  }
+  return "?";
+}
+
+Service::Service(ServiceOptions options)
+    : Service(std::move(options), engine::builtin_executors()) {}
+
+Service::Service(ServiceOptions options,
+                 const engine::ExecutorRegistry& registry)
+    : options_(std::move(options)),
+      registry_(registry),
+      store_(options_.cache_dir),
+      pool_(support::resolve_thread_count(options_.threads)) {
+  context_.cache_dir = options_.cache_dir;
+  context_.threads = support::resolve_thread_count(options_.job_threads);
+}
+
+Service::~Service() { pool_.wait_idle(); }
+
+void Service::lru_insert(const std::string& key, const PayloadPtr& payload,
+                         double seconds) {
+  if (options_.lru_bytes == 0) return;
+  if (const auto it = lru_index_.find(key); it != lru_index_.end()) {
+    return;  // raced with another flight of the same key; keep the first
+  }
+  // One artifact larger than the whole budget would evict everything and
+  // still not fit; serve it from the store instead.
+  if (payload->size() > options_.lru_bytes) return;
+  lru_.push_front(LruEntry{key, payload, seconds});
+  lru_index_[key] = lru_.begin();
+  lru_bytes_ += payload->size();
+  while (lru_bytes_ > options_.lru_bytes) {
+    const LruEntry& victim = lru_.back();
+    lru_bytes_ -= victim.payload->size();
+    lru_index_.erase(victim.key);
+    lru_.pop_back();
+    ++stats_.lru_evictions;
+  }
+}
+
+QueryOutcome Service::execute(const engine::GenericJob& job) {
+  // Unknown kinds must reject on the caller's thread, before a flight is
+  // created (the pool would otherwise own the throw).
+  const engine::Executor* executor = registry_.find(job.kind);
+  if (executor == nullptr) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.requests;
+    ++stats_.errors;
+    throw support::InvalidArgument("unknown job kind " + job.kind);
+  }
+
+  const engine::JobKey key = engine::generic_job_key(job);
+  std::shared_ptr<Flight> flight;
+  bool leader = false;
+  PayloadPtr lru_payload;
+  double lru_seconds = 0.0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.requests;
+    if (const auto it = lru_index_.find(key.canonical);
+        it != lru_index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);  // touch
+      ++stats_.lru_hits;
+      lru_payload = it->second->payload;  // copy the bytes outside the lock
+      lru_seconds = it->second->seconds;
+    } else {
+      auto& slot = flights_[key.canonical];
+      if (slot == nullptr) {
+        slot = std::make_shared<Flight>();
+        leader = true;
+      } else {
+        ++stats_.coalesced;
+      }
+      flight = slot;
+    }
+  }
+  if (lru_payload != nullptr) {
+    QueryOutcome outcome;
+    outcome.payload = std::move(lru_payload);
+    outcome.seconds = lru_seconds;
+    outcome.source = Source::kLru;
+    outcome.cached = true;
+    return outcome;
+  }
+
+  if (leader) {
+    // The leader executes on the pool (bounding concurrent solves) and
+    // publishes through the flight; it then waits like every joiner.
+    pool_.submit([this, flight, key, job] {
+      PayloadPtr payload;
+      double seconds = 0.0;
+      Source source = Source::kSolve;
+      bool failed = false;
+      std::string error;
+      try {
+        engine::GenericOutcome outcome =
+            engine::run_generic(registry_, store_, context_, job);
+        payload = std::make_shared<const std::string>(
+            std::move(outcome.result.payload));
+        seconds = outcome.result.seconds;
+        source = outcome.cached ? Source::kStore : Source::kSolve;
+      } catch (const std::exception& e) {
+        failed = true;
+        error = e.what();
+      }
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (failed) {
+          ++stats_.errors;
+        } else {
+          if (source == Source::kStore) ++stats_.store_hits;
+          else ++stats_.solves;
+          lru_insert(key.canonical, payload, seconds);
+        }
+        flights_.erase(key.canonical);
+      }
+      {
+        const std::lock_guard<std::mutex> lock(flight->mutex);
+        flight->finished = true;
+        flight->failed = failed;
+        flight->error = std::move(error);
+        flight->payload = std::move(payload);
+        flight->seconds = seconds;
+        flight->source = source;
+      }
+      flight->done.notify_all();
+    });
+  }
+
+  QueryOutcome outcome;
+  {
+    std::unique_lock<std::mutex> lock(flight->mutex);
+    flight->done.wait(lock, [&] { return flight->finished; });
+    if (flight->failed) throw support::Error(flight->error);
+    outcome.payload = flight->payload;  // shared, no byte copy
+    outcome.seconds = flight->seconds;
+    outcome.source = leader ? flight->source : Source::kCoalesced;
+  }
+  outcome.cached = outcome.source != Source::kSolve;
+  return outcome;
+}
+
+void Service::note_rejected() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.requests;
+  ++stats_.rejected;
+}
+
+ServiceStats Service::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ServiceStats out = stats_;
+  out.lru_bytes = lru_bytes_;
+  out.lru_entries = lru_.size();
+  return out;
+}
+
+}  // namespace serve

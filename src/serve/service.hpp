@@ -1,0 +1,155 @@
+// The serving core: a long-lived, concurrent front to the experiment
+// engine's generalized jobs.
+//
+// Three cache layers answer a query, cheapest first:
+//
+//   1. An in-memory, byte-bounded LRU over finished artifacts — repeat
+//      queries cost a map lookup and a string copy.
+//   2. Single-flight request coalescing: while a job is being computed,
+//      every identical concurrent query joins the in-flight computation
+//      instead of starting its own — N clients asking for the same cold
+//      sweep trigger exactly one solve and one store write.
+//   3. The content-addressed disk ResultStore (shared with the batch
+//      CLI): a restarted server — or one pointed at a cache a sweep
+//      already populated — answers warm without re-solving.
+//
+// Executions fan out across one support::ThreadPool sized at
+// construction, which bounds concurrent solves no matter how many
+// connections the transport accepts; connection threads block on the
+// flight of their query, they never occupy a pool slot themselves (so
+// pool starvation cannot deadlock the transport).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "engine/generic.hpp"
+#include "engine/store.hpp"
+#include "support/parallel.hpp"
+
+namespace serve {
+
+struct ServiceOptions {
+  /// Content-addressed store directory; empty serves from memory only
+  /// (no warm restarts, but LRU and coalescing still apply).
+  std::string cache_dir;
+  /// Concurrent jobs (the pool width); <= 0 means all hardware threads.
+  int threads = 0;
+  /// Worker threads *inside* each job (Bellman-sweep fan-out, engine
+  /// chains). Total CPU demand is roughly threads x job_threads, so the
+  /// default keeps each job serial: a saturated pool then uses every
+  /// core exactly once instead of oversubscribing cores^2. Raise it on
+  /// latency-sensitive deployments with few concurrent clients.
+  int job_threads = 1;
+  /// LRU capacity in payload bytes; 0 disables the in-memory layer.
+  std::size_t lru_bytes = 64ull << 20;
+};
+
+/// Where a response came from (reported to clients and to the bench).
+enum class Source : std::uint8_t {
+  kLru,        ///< In-memory hit.
+  kStore,      ///< Disk store hit.
+  kSolve,      ///< Computed by this request.
+  kCoalesced,  ///< Joined another request's in-flight computation.
+};
+
+const char* to_string(Source source);
+
+struct QueryOutcome {
+  /// Shared, never null on success: cache hits hand out the resident
+  /// buffer instead of copying multi-megabyte artifacts per request.
+  std::shared_ptr<const std::string> payload;
+  double seconds = 0.0;  ///< Original computation wall-clock.
+  Source source = Source::kSolve;
+  bool cached = false;  ///< Any layer short of a fresh solve.
+};
+
+/// Monotonic counters since service start.
+struct ServiceStats {
+  std::uint64_t requests = 0;
+  std::uint64_t lru_hits = 0;
+  std::uint64_t store_hits = 0;
+  std::uint64_t solves = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t errors = 0;    ///< Executor/dispatch failures.
+  std::uint64_t rejected = 0;  ///< Protocol-level rejections (note_rejected).
+  std::uint64_t lru_evictions = 0;
+  std::size_t lru_bytes = 0;    ///< Current LRU payload residency.
+  std::size_t lru_entries = 0;
+};
+
+class Service {
+ public:
+  /// Uses the built-in executor registry (engine/kinds.hpp).
+  explicit Service(ServiceOptions options);
+  /// Custom registry (tests inject slow or counting executors).
+  Service(ServiceOptions options, const engine::ExecutorRegistry& registry);
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Answers one query through the cache layers. Blocks until the artifact
+  /// is available. Throws support::Error on executor failure or an
+  /// unknown kind (coalesced waiters of a failed flight all throw).
+  QueryOutcome execute(const engine::GenericJob& job);
+
+  /// Records a request that was rejected before reaching execute()
+  /// (malformed JSON, unknown kind/field, out-of-range parameters) —
+  /// without this the stats would show zero errors while clients are
+  /// being turned away.
+  void note_rejected();
+
+  ServiceStats stats() const;
+  const ServiceOptions& options() const { return options_; }
+  const engine::ResultStore& store() const { return store_; }
+
+ private:
+  /// Payloads live behind shared_ptr so cache hits hand out a reference
+  /// under the lock and copy (if at all) outside it — the global mutex
+  /// never serializes on a multi-megabyte memcpy.
+  using PayloadPtr = std::shared_ptr<const std::string>;
+
+  struct LruEntry {
+    std::string key;  ///< Canonical job key (collision-proof identity).
+    PayloadPtr payload;
+    double seconds = 0.0;
+  };
+
+  /// One in-flight computation; joiners wait on `done`.
+  struct Flight {
+    std::mutex mutex;
+    std::condition_variable done;
+    bool finished = false;
+    bool failed = false;
+    std::string error;
+    PayloadPtr payload;
+    double seconds = 0.0;
+    Source source = Source::kSolve;  ///< How the leader resolved it.
+  };
+
+  /// Inserts into the LRU and evicts past the byte budget. Requires
+  /// mutex_ held.
+  void lru_insert(const std::string& key, const PayloadPtr& payload,
+                  double seconds);
+
+  ServiceOptions options_;
+  const engine::ExecutorRegistry& registry_;
+  engine::ResultStore store_;
+  engine::ExecContext context_;
+  support::ThreadPool pool_;
+
+  mutable std::mutex mutex_;
+  std::list<LruEntry> lru_;  ///< Front = most recent.
+  std::unordered_map<std::string, std::list<LruEntry>::iterator> lru_index_;
+  std::size_t lru_bytes_ = 0;
+  std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
+  ServiceStats stats_;
+};
+
+}  // namespace serve

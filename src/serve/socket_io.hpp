@@ -1,0 +1,13 @@
+// Shared low-level socket helpers for the serve transport (server and
+// client sides use the same partial-send/EINTR discipline).
+#pragma once
+
+#include <string>
+
+namespace serve {
+
+/// Writes all of `data` to `fd` (send(2) can be partial under pressure;
+/// EINTR is retried, SIGPIPE suppressed). False on a broken connection.
+bool send_all(int fd, const std::string& data);
+
+}  // namespace serve

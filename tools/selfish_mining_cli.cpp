@@ -7,9 +7,13 @@
 //   selfish-mining network   --scenario=single-optimal --runs=8 --threads=0
 //   selfish-mining export    --p=0.3 --gamma=0.5 --d=2 --f=1 --prefix=out
 //   selfish-mining baselines --p=0.3 --gamma=0.5
+//   selfish-mining serve     --port=7077 --threads=0 --cache-dir=cache
+//   selfish-mining query     --port=7077 --kind=threshold --gamma=0.5 --d=2
 //
 // Every subcommand accepts --help. Options may also come from the
 // SELFISH_* environment (see support::Options).
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -17,6 +21,7 @@
 
 #include "analysis/algorithm1.hpp"
 #include "analysis/policy_stats.hpp"
+#include "analysis/render.hpp"
 #include "analysis/strategy_io.hpp"
 #include "analysis/sweep.hpp"
 #include "analysis/threshold.hpp"
@@ -30,6 +35,9 @@
 #include "net/scenario.hpp"
 #include "selfish/build.hpp"
 #include "selfish/cache.hpp"
+#include "serve/client.hpp"
+#include "serve/json.hpp"
+#include "serve/server.hpp"
 #include "sim/strategies.hpp"
 #include "support/check.hpp"
 #include "support/csv.hpp"
@@ -119,21 +127,12 @@ int cmd_analyze(int argc, const char* const* argv) {
   const auto result = analysis::analyze(
       model, analysis_from(options, options.get_int("threads")));
 
-  std::printf("model %s: %u states, %zu transitions\n",
-              params.to_string().c_str(), model.mdp.num_states(),
-              model.mdp.num_transitions());
-  std::printf("ERRev* in [%.6f, %.6f]; strategy achieves %.6f "
-              "(honest share: %.4f)\n",
-              result.beta_lo, result.beta_hi, result.errev_of_policy,
-              params.p);
-  std::printf("%d binary-search steps, %ld solver iterations, %.3f s\n",
-              result.search_iterations, result.solver_iterations,
-              result.seconds);
-  if (options.get_bool("stats")) {
-    const auto stats =
-        analysis::compute_policy_stats(model, result.policy);
-    std::printf("%s", stats.to_string().c_str());
-  }
+  // Shared renderer: `query --kind=point` replies reuse it, which is what
+  // makes served responses byte-identical to this output.
+  std::fputs(analysis::render_analysis_report(params, model, result,
+                                              options.get_bool("stats"))
+                 .c_str(),
+             stdout);
   const std::string path = options.get_string("save-strategy");
   if (!path.empty()) {
     std::ofstream out(path);
@@ -209,17 +208,9 @@ int cmd_threshold(int argc, const char* const* argv) {
   threshold_options.p_tolerance = options.get_double("ptol");
   const auto result =
       analysis::fairness_threshold(params_from(options), threshold_options);
-
-  if (result.always_fair) {
-    std::printf("fair for all p <= %.3f (attack never beats honest mining "
-                "by more than %.3f)\n",
-                threshold_options.p_max, threshold_options.unfairness_margin);
-  } else {
-    std::printf("attack becomes profitable at p ~= %.4f "
-                "(bracket [%.4f, %.4f], %zu probes)\n",
-                result.p_threshold, result.p_lo, result.p_hi,
-                result.probes.size());
-  }
+  std::fputs(analysis::render_threshold_report(threshold_options, result)
+                 .c_str(),
+             stdout);
   return 0;
 }
 
@@ -439,20 +430,8 @@ int cmd_upper_bound(int argc, const char* const* argv) {
   ub_options.analysis = analysis_from(options, options.get_int("threads"));
   const auto result =
       analysis::bound_errev_in_l(params_from(options), ub_options);
-
-  support::Table table({"l", "states", "ERRev lower bound",
-                        "in-model upper bound"});
-  for (const auto& point : result.points) {
-    table.add_row({std::to_string(point.l), std::to_string(point.num_states),
-                   support::format_double(point.errev_lb, 6),
-                   support::format_double(point.beta_hi, 6)});
-  }
-  table.print(std::cout);
-  std::printf("certified ERRev*(l=%d) <= %.6f\n", ub_options.l_max,
-              result.certified_at_lmax);
-  std::printf("heuristic l->inf estimate: %.6f (tail %.2e, %s)\n",
-              result.extrapolated_limit, result.extrapolation_tail,
-              result.geometric ? "geometric fit" : "fallback");
+  std::fputs(analysis::render_upper_bound_report(ub_options, result).c_str(),
+             stdout);
   return 0;
 }
 
@@ -485,6 +464,186 @@ int cmd_baselines(int argc, const char* const* argv) {
   return 0;
 }
 
+std::atomic<serve::Server*> g_server{nullptr};
+
+/// SIGINT/SIGTERM: leave the accept loop. request_stop only touches an
+/// atomic and calls shutdown(2) — async-signal-safe. The handlers are
+/// deregistered before Server::stop() closes the listening fd, so the
+/// handler can never shut down a recycled descriptor.
+void handle_stop_signal(int) {
+  serve::Server* server = g_server.load();
+  if (server != nullptr) server->request_stop();
+}
+
+int cmd_serve(int argc, const char* const* argv) {
+  support::Options options;
+  options.declare("help", "false", "show this command's options");
+  options.declare("host", "127.0.0.1",
+                  "bind address (loopback by default; the protocol is "
+                  "unauthenticated)");
+  options.declare("port", "7077", "TCP port (0 = ephemeral)");
+  options.declare("threads", "0",
+                  "concurrent jobs (0 = all cores); bounds simultaneous "
+                  "solves regardless of connection count");
+  options.declare("job-threads", "1",
+                  "worker threads inside each job (total CPU ~ threads x "
+                  "job-threads; raise for few-client, latency-sensitive "
+                  "use)");
+  options.declare("cache-dir", "",
+                  "content-addressed result store shared with the batch "
+                  "commands; a restarted server answers warm from it");
+  options.declare("lru-mb", "64",
+                  "in-memory artifact cache budget in MiB (0 disables)");
+  if (!parse_or_help(options, argc, argv)) return 0;
+
+  const int lru_mb = options.get_int("lru-mb");
+  SM_REQUIRE(lru_mb >= 0, "--lru-mb must be non-negative, got ", lru_mb);
+
+  serve::ServerOptions server_options;
+  server_options.host = options.get_string("host");
+  server_options.port = options.get_int("port");
+  server_options.service.cache_dir = options.get_string("cache-dir");
+  server_options.service.threads = options.get_int("threads");
+  server_options.service.job_threads = options.get_int("job-threads");
+  server_options.service.lru_bytes =
+      static_cast<std::size_t>(lru_mb) << 20;
+
+  serve::Server server(server_options);
+  g_server.store(&server);
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+
+  // The one stdout line is the readiness handshake scripts wait for.
+  std::printf("serving on %s:%d\n", server_options.host.c_str(),
+              server.port());
+  std::fflush(stdout);
+  server.serve_forever();
+  // Restore default signal disposition before stop() closes descriptors:
+  // a second SIGTERM during the drain then terminates the process (the
+  // conventional force-quit) instead of racing shutdown(2) against fd
+  // reuse.
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  g_server.store(nullptr);
+  server.stop();
+
+  const serve::ServiceStats stats = server.service().stats();
+  std::fprintf(stderr,
+               "serve: %llu requests — %llu lru, %llu store, %llu solved, "
+               "%llu coalesced, %llu errors, %llu rejected\n",
+               static_cast<unsigned long long>(stats.requests),
+               static_cast<unsigned long long>(stats.lru_hits),
+               static_cast<unsigned long long>(stats.store_hits),
+               static_cast<unsigned long long>(stats.solves),
+               static_cast<unsigned long long>(stats.coalesced),
+               static_cast<unsigned long long>(stats.errors),
+               static_cast<unsigned long long>(stats.rejected));
+  return 0;
+}
+
+int cmd_query(int argc, const char* const* argv) {
+  support::Options options;
+  options.declare("help", "false", "show this command's options");
+  options.declare("host", "127.0.0.1", "server address");
+  options.declare("port", "7077", "server TCP port");
+  options.declare("kind", "point",
+                  "query kind: point | sweep | threshold | upper-bound | "
+                  "net-batch | ping | stats | shutdown");
+  options.declare("raw", "false",
+                  "print the raw JSON response line instead of the body");
+  // Every analysis-kind option, typed. Only options the user explicitly
+  // set travel in the request: the server applies the same defaults as
+  // the direct CLI subcommands, so an empty query equals the subcommand's
+  // default invocation. The presets below (and the subcommands' declare()
+  // defaults) must stay in sync with serve/protocol.cpp's fallbacks —
+  // test_serve's DefaultsMatchTheCliSubcommands pins the protocol side.
+  struct Field {
+    const char* name;
+    char type;  // d = double, i = integer, b = bool, s = string
+    const char* preset;
+    const char* help;
+  };
+  static constexpr Field kFields[] = {
+      {"p", 'd', "0.3", "adversary's relative resource in [0,1]"},
+      {"gamma", 'd', "0.5", "tie-race switching probability"},
+      {"d", 'i', "2", "attack depth"},
+      {"f", 'i', "1", "forks per public block"},
+      {"l", 'i', "4", "maximal private fork length"},
+      {"burn-lost-races", 'b', "false", "fork-choice ablation variant"},
+      {"epsilon", 'd', "0.001", "Algorithm 1 precision"},
+      {"solver", 's', "vi", "mean-payoff solver: vi | gs | pi | dense"},
+      {"stats", 'b', "true", "point: include strategy statistics"},
+      {"pmin", 'd', "0", "sweep: smallest resource"},
+      {"pmax", 'd', "0.3", "sweep: largest resource"},
+      {"step", 'd', "0.05", "sweep: resource grid step"},
+      {"margin", 'd', "0.005", "threshold: excess that counts as unfair"},
+      {"ptol", 'd', "0.005", "threshold: p bracket width"},
+      {"lmin", 'i', "2", "upper-bound: smallest fork cap"},
+      {"lmax", 'i', "5", "upper-bound: largest fork cap"},
+      {"scenario", 's', "single-optimal", "net-batch: scenario family"},
+      {"delay", 'd', "0", "net-batch: one-way propagation delay"},
+      {"interval", 'd', "600", "net-batch: mean block interval"},
+      {"blocks", 'i', "100000", "net-batch: mining events per run"},
+      {"honest", 'i', "3", "net-batch: honest miner count"},
+      {"strategy", 's', "optimal", "net-batch: attacker strategy"},
+      {"propagation", 's', "direct", "net-batch: direct | gossip"},
+      {"partition-start", 'd', "0.25", "net-batch: split start fraction"},
+      {"partition-stop", 'd', "0.45", "net-batch: heal time fraction"},
+      {"partition-frac", 'd', "0.5", "net-batch: isolated honest fraction"},
+      {"asymmetry", 'd', "4", "net-batch: up-spoke delay multiplier"},
+      {"runs", 'i', "8", "net-batch: seeds per scenario point"},
+      {"seed", 'i', "24141", "net-batch: base seed of the batch"},
+  };
+  for (const Field& field : kFields) {
+    options.declare(field.name, field.preset, field.help);
+  }
+  if (!parse_or_help(options, argc, argv)) return 0;
+
+  serve::JsonMembers members;
+  members.emplace_back("kind", serve::Json(options.get_string("kind")));
+  for (const Field& field : kFields) {
+    if (!options.was_set(field.name)) continue;
+    switch (field.type) {
+      case 'd':
+        members.emplace_back(field.name,
+                             serve::Json(options.get_double(field.name)));
+        break;
+      case 'i':
+        members.emplace_back(
+            field.name,
+            serve::Json(static_cast<double>(options.get_int(field.name))));
+        break;
+      case 'b':
+        members.emplace_back(field.name,
+                             serve::Json(options.get_bool(field.name)));
+        break;
+      default:
+        members.emplace_back(field.name,
+                             serve::Json(options.get_string(field.name)));
+    }
+  }
+  const std::string request =
+      serve::Json::object(std::move(members)).dump();
+
+  serve::Client client(options.get_string("host"), options.get_int("port"));
+  if (options.get_bool("raw")) {
+    std::printf("%s\n", client.request_raw(request).c_str());
+    return 0;
+  }
+  const serve::Reply reply = client.request(request);
+  if (!reply.ok) {
+    std::fprintf(stderr, "query error: %s\n", reply.error.c_str());
+    return 1;
+  }
+  // The body is the byte-exact artifact; metadata goes to stderr so the
+  // stdout stream can be diffed against the direct subcommand.
+  std::fputs(reply.body.c_str(), stdout);
+  std::fprintf(stderr, "query: kind=%s cached=%d source=%s seconds=%.3f\n",
+               reply.kind.c_str(), reply.cached ? 1 : 0,
+               reply.source.c_str(), reply.seconds);
+  return 0;
+}
+
 void print_usage() {
   std::fprintf(
       stderr,
@@ -501,7 +660,13 @@ void print_usage() {
       "(scenario x seed batches)\n"
       "  export     write the MDP in Storm explicit format\n"
       "  upper-bound certified and extrapolated bounds across fork caps\n"
-      "  baselines  baseline revenues for (p, gamma)\n\n"
+      "  baselines  baseline revenues for (p, gamma)\n"
+      "  serve      long-running analysis service (NDJSON over TCP; LRU + "
+      "single-flight\n"
+      "             over the content-addressed store)\n"
+      "  query      send one request to a running server; the body printed "
+      "on stdout is\n"
+      "             byte-identical to the equivalent direct subcommand\n\n"
       "run a command with --help for its options.\n");
 }
 
@@ -525,6 +690,8 @@ int main(int argc, char** argv) {
     if (command == "export") return cmd_export(sub_argc, sub_argv);
     if (command == "upper-bound") return cmd_upper_bound(sub_argc, sub_argv);
     if (command == "baselines") return cmd_baselines(sub_argc, sub_argv);
+    if (command == "serve") return cmd_serve(sub_argc, sub_argv);
+    if (command == "query") return cmd_query(sub_argc, sub_argv);
     if (command == "--help" || command == "help") {
       print_usage();
       return 0;
