@@ -1,8 +1,12 @@
 #include "bench_common.hpp"
 
 #include <cstdio>
+#include <fstream>
 
 #include "analysis/sweep.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "support/check.hpp"
 #include "support/parallel.hpp"
 
 namespace bench {
@@ -40,8 +44,25 @@ support::Options standard_options(int argc, const char* const* argv,
   options.declare("store-values", "true",
                   "persist warm-start value vectors in the result store "
                   "(turn off to shrink caches for huge models)");
+  options.declare("metrics-out", "",
+                  "write a Prometheus text snapshot of the obs registry "
+                  "to this file at harness exit; also via "
+                  "SELFISH_METRICS_OUT");
+  options.declare("trace-out", "",
+                  "write obs trace spans (NDJSON, one per span) to this "
+                  "file; empty = tracing off");
   options.parse(argc, argv);
+  const std::string trace = options.get_string("trace-out");
+  if (!trace.empty()) obs::open_trace(trace);
   return options;
+}
+
+void write_metrics_snapshot(const support::Options& options) {
+  const std::string path = options.get_string("metrics-out");
+  if (path.empty()) return;
+  std::ofstream out(path);
+  SM_REQUIRE(out.good(), "cannot open --metrics-out file ", path);
+  out << obs::prometheus_text();
 }
 
 engine::EngineOptions engine_options(const support::Options& options) {

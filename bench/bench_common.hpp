@@ -25,10 +25,18 @@ std::vector<double> gamma_grid();
 std::vector<double> resource_grid(bool full);
 
 /// Declares the options shared by all harnesses (--full, --epsilon,
-/// --solver, --threads, --cache-dir) and parses argv (with SELFISH_*
-/// environment defaults).
+/// --solver, --threads, --cache-dir, --metrics-out, --trace-out) and
+/// parses argv (with SELFISH_* environment defaults). When --trace-out is
+/// set the obs NDJSON trace sink opens immediately, so every span of the
+/// harness run lands in the file.
 support::Options standard_options(int argc, const char* const* argv,
                                   const std::string& extra_help = "");
+
+/// Writes a Prometheus text snapshot of the process-wide obs registry to
+/// the --metrics-out path (no-op when unset). Harnesses call this right
+/// before exit, so CI can archive the counters behind a BENCH_* run —
+/// e.g. solver bytes/sweep and serve hit rates — next to the timing JSON.
+void write_metrics_snapshot(const support::Options& options);
 
 /// Experiment-engine configuration from the shared options: --threads
 /// drives the chain fan-out, --cache-dir the result store, --store-values

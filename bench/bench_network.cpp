@@ -156,5 +156,6 @@ int main(int argc, char** argv) {
     std::printf("\nExpected: |predicted - network| within Monte-Carlo noise "
                 "(~0.003 at the default scale).\n");
   }
+  bench::write_metrics_snapshot(options);
   return 0;
 }

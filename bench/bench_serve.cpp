@@ -19,7 +19,9 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "obs/metrics.hpp"
 #include "serve/client.hpp"
+#include "serve/json.hpp"
 #include "serve/server.hpp"
 #include "support/check.hpp"
 #include "support/timer.hpp"
@@ -74,6 +76,79 @@ double percentile(std::vector<double> sorted, double q) {
   return sorted[index];
 }
 
+/// Server-side view of one pass, read back through the protocol itself
+/// (the `stats` admin kind) instead of parsing the server's stderr line.
+struct ServerCounters {
+  double requests = 0, lru = 0, store = 0, solves = 0, coalesced = 0;
+};
+
+double stat_number(const serve::Json& reply, const char* key) {
+  const serve::Json* value = reply.find(key);
+  SM_REQUIRE(value != nullptr, "stats reply lacks field ", key);
+  return value->as_number();
+}
+
+ServerCounters server_counters(int port) {
+  serve::Client client("127.0.0.1", port);
+  const serve::Json reply =
+      serve::Json::parse(client.request_raw("{\"kind\":\"stats\"}"));
+  ServerCounters out;
+  out.requests = stat_number(reply, "requests");
+  out.lru = stat_number(reply, "lru_hits");
+  out.store = stat_number(reply, "store_hits");
+  out.solves = stat_number(reply, "solves");
+  out.coalesced = stat_number(reply, "coalesced");
+  return out;
+}
+
+ServerCounters delta(const ServerCounters& now, const ServerCounters& then) {
+  return ServerCounters{now.requests - then.requests, now.lru - then.lru,
+                        now.store - then.store, now.solves - then.solves,
+                        now.coalesced - then.coalesced};
+}
+
+/// Merges the per-kind serve request-latency histograms (the server runs
+/// in-process, so the global obs registry is directly readable) into one
+/// distribution over the analysis kinds this workload sends. The handles
+/// must match serve/protocol.cpp's registration exactly — same name,
+/// help, buckets, labels — so this finds the live series instead of
+/// creating empty ones.
+obs::HistogramSnapshot latency_snapshot() {
+  obs::HistogramSnapshot merged;
+  for (const char* kind : {"point", "sweep", "threshold", "upper-bound"}) {
+    const obs::HistogramSnapshot snap =
+        obs::histogram("selfish_serve_request_seconds",
+                       "End-to-end request latency (parse through render)",
+                       obs::exponential_buckets(1e-5, 4.0, 14),
+                       std::string("kind=\"") + kind + "\"")
+            .snapshot();
+    if (merged.counts.empty()) {
+      merged = snap;
+      continue;
+    }
+    for (std::size_t i = 0; i < snap.counts.size(); ++i) {
+      merged.counts[i] += snap.counts[i];
+    }
+    merged.sum += snap.sum;
+    merged.count += snap.count;
+  }
+  return merged;
+}
+
+/// The histogram delta of one pass (counts are monotonic, so
+/// pass = after - before, bucket by bucket).
+obs::HistogramSnapshot delta(const obs::HistogramSnapshot& now,
+                             const obs::HistogramSnapshot& then) {
+  obs::HistogramSnapshot out = now;
+  for (std::size_t i = 0;
+       i < out.counts.size() && i < then.counts.size(); ++i) {
+    out.counts[i] -= then.counts[i];
+  }
+  out.sum -= then.sum;
+  out.count -= then.count;
+  return out;
+}
+
 /// Fans `clients` connections at the server; each replays the workload
 /// `repeat` times, interleaved round-robin so identical queries collide
 /// in flight (exercising single-flight under load).
@@ -109,13 +184,34 @@ PassResult run_pass(int port, const Workload& workload, int clients,
   return result;
 }
 
-void report(const char* label, const PassResult& pass) {
+void report(const char* label, const PassResult& pass,
+            const ServerCounters& server,
+            const obs::HistogramSnapshot& hist) {
   const double n = static_cast<double>(pass.latencies.size());
   std::printf("%-5s %7zu requests  %8.3f s  %9.1f qps  "
-              "p50 %8.3f ms  p99 %8.3f ms\n",
+              "client p50 %8.3f ms  p99 %8.3f ms\n",
               label, pass.latencies.size(), pass.seconds, n / pass.seconds,
               percentile(pass.latencies, 0.50) * 1e3,
               percentile(pass.latencies, 0.99) * 1e3);
+  // Server-side latency (parse through render, no socket round-trip)
+  // straight from the serve histograms.
+  if (hist.count > 0) {
+    std::printf("      server p50 %8.3f ms  p90 %8.3f ms  p99 %8.3f ms  "
+                "(%llu observations)\n",
+                hist.quantile(0.50) * 1e3, hist.quantile(0.90) * 1e3,
+                hist.quantile(0.99) * 1e3,
+                static_cast<unsigned long long>(hist.count));
+  } else {
+    std::printf("      server histograms empty (obs runtime-disabled or "
+                "compiled out)\n");
+  }
+  if (server.requests > 0) {
+    const double hits = server.lru + server.store + server.coalesced;
+    std::printf("      cache hit rate %5.1f%%  (%.0f lru, %.0f store, "
+                "%.0f coalesced, %.0f solved of %.0f requests)\n",
+                100.0 * hits / server.requests, server.lru, server.store,
+                server.coalesced, server.solves, server.requests);
+  }
 }
 
 }  // namespace
@@ -146,28 +242,30 @@ int main(int argc, char** argv) {
               "(port %d)\n\n",
               workload.requests.size(), repeat, clients, server.port());
 
+  // Per-phase server-side attribution: counters via the stats reply,
+  // latency via the serve histograms — both deltas across the pass.
+  const ServerCounters counters0 = server_counters(server.port());
+  const obs::HistogramSnapshot hist0 = latency_snapshot();
+
   // Cold: empty store — first arrival of each distinct query solves, its
   // repeats coalesce or hit the LRU behind it.
   const PassResult cold = run_pass(server.port(), workload, clients, repeat);
-  report("cold", cold);
+  const ServerCounters counters1 = server_counters(server.port());
+  const obs::HistogramSnapshot hist1 = latency_snapshot();
+  report("cold", cold, delta(counters1, counters0), delta(hist1, hist0));
 
   // Warm: identical stream, fully resident.
   const PassResult warm = run_pass(server.port(), workload, clients, repeat);
-  report("warm", warm);
+  const ServerCounters counters2 = server_counters(server.port());
+  const obs::HistogramSnapshot hist2 = latency_snapshot();
+  report("warm", warm, delta(counters2, counters1), delta(hist2, hist1));
 
-  const serve::ServiceStats stats = server.service().stats();
-  std::printf("\nserver: %llu requests — %llu lru, %llu store, %llu solved, "
-              "%llu coalesced\n",
-              static_cast<unsigned long long>(stats.requests),
-              static_cast<unsigned long long>(stats.lru_hits),
-              static_cast<unsigned long long>(stats.store_hits),
-              static_cast<unsigned long long>(stats.solves),
-              static_cast<unsigned long long>(stats.coalesced));
-  std::printf("warm-vs-cold speedup: %.1fx (wall) / %.1fx (p50)\n",
+  std::printf("\nwarm-vs-cold speedup: %.1fx (wall) / %.1fx (p50)\n",
               cold.seconds / warm.seconds,
               percentile(cold.latencies, 0.50) /
                   std::max(1e-9, percentile(warm.latencies, 0.50)));
 
+  bench::write_metrics_snapshot(options);
   server.stop();
   fs::remove_all(cache_dir);
   return 0;

@@ -11,6 +11,8 @@
 // test_mdp_kernel pins that; this file only measures time.)
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+
 #include "analysis/algorithm1.hpp"
 #include "analysis/errev.hpp"
 #include "baselines/single_tree.hpp"
@@ -95,11 +97,24 @@ void BM_KernelValueIteration(benchmark::State& state) {
                  static_cast<int>(state.range(1))));
   const mdp::BellmanKernel kernel(model.mdp);
   const int threads = static_cast<int>(state.range(2));
+  std::int64_t sweeps = 0;
   for (auto _ : state) {
     const auto result =
         kernel.value_iteration(0.4, {}, nullptr, threads);
     benchmark::DoNotOptimize(result.gain);
+    sweeps += result.iterations;
   }
+  // The ROADMAP roofline row: bytes one synchronous sweep streams (also
+  // exported live as selfish_mdp_bytes_per_sweep) and the achieved
+  // bandwidth GB/s = bytes_per_sweep * sweeps / wall — compare against
+  // the machine's STREAM number to see how far the kernel sits from the
+  // memory wall.
+  state.counters["bytes_per_sweep"] =
+      static_cast<double>(kernel.bytes_per_sweep());
+  state.counters["achieved_gbps"] = benchmark::Counter(
+      static_cast<double>(kernel.bytes_per_sweep()) *
+          static_cast<double>(sweeps) / 1e9,
+      benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_KernelValueIteration)
     ->Args({2, 2, 1})->Args({2, 2, 8})

@@ -117,6 +117,7 @@ int main(int argc, char** argv) {
               warm.size());
   std::printf("\nresults verified bit-identical across all three paths\n");
 
+  bench::write_metrics_snapshot(options);
   if (temp_cache) std::filesystem::remove_all(cache_dir);
   return 0;
 }

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "analysis/algorithm1.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 #include "support/parallel.hpp"
 #include "support/timer.hpp"
@@ -12,6 +14,32 @@
 namespace engine {
 
 namespace {
+
+/// Job-lifecycle metrics, registered at static init so a fresh `metrics`
+/// scrape lists the engine family before any job runs.
+struct EngineMetrics {
+  obs::Counter& planned = obs::counter(
+      "selfish_engine_jobs_planned_total",
+      "Deduplicated analysis slots planned for execution");
+  obs::Counter& cache_hits = obs::counter(
+      "selfish_engine_cache_hits_total",
+      "Analysis slots satisfied from the result store");
+  obs::Counter& executed = obs::counter(
+      "selfish_engine_executed_total",
+      "Analysis slots solved (store miss or values needed for warm start)");
+  obs::Histogram& chain_depth = obs::histogram(
+      "selfish_engine_chain_depth",
+      "Points per planned warm-start chain",
+      std::vector<double>{1, 2, 4, 8, 16, 32, 64, 128});
+};
+
+EngineMetrics& engine_metrics() {
+  static EngineMetrics metrics;
+  return metrics;
+}
+
+[[maybe_unused]] const EngineMetrics& g_registered_engine_metrics =
+    engine_metrics();
 
 /// One deduplicated execution slot of the plan.
 struct Slot {
@@ -80,6 +108,14 @@ std::vector<JobOutcome> Engine::run(const std::vector<AnalysisJob>& jobs,
     chains.push_back(std::move(chain));
   }
 
+  if (obs::enabled()) {
+    EngineMetrics& metrics = engine_metrics();
+    metrics.planned.add(slots.size());
+    for (const std::vector<std::size_t>& chain : chains) {
+      metrics.chain_depth.observe(static_cast<double>(chain.size()));
+    }
+  }
+
   // ---- Execute: chains fan out on the pool; each chain runs its points
   // in order so final values seed the next solve.
   std::vector<JobOutcome> by_slot(slots.size());
@@ -96,6 +132,7 @@ std::vector<JobOutcome> Engine::run(const std::vector<AnalysisJob>& jobs,
           // purely to regain the value vector — and counts as a miss.
           if (hit.has_value() &&
               (!slot.has_successor || !hit->values.empty())) {
+            engine_metrics().cache_hits.add(1);
             out.result = std::move(*hit);
             out.cached = true;
             // Take the values as this chain's warm seed; outcomes carry
@@ -104,6 +141,10 @@ std::vector<JobOutcome> Engine::run(const std::vector<AnalysisJob>& jobs,
             warm = std::move(out.result.values);
             out.result.values = std::vector<double>();
           } else {
+            engine_metrics().executed.add(1);
+            obs::Span solve_span("engine.solve");
+            solve_span.attr("p", serve::Json(slot.job.params.p));
+            solve_span.attr("warm", serve::Json(!warm.empty()));
             const support::Timer timer;
             auto built = std::make_shared<selfish::SelfishModel>(
                 selfish::build_model(slot.job.params));

@@ -2,10 +2,32 @@
 
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 #include "support/timer.hpp"
 
 namespace engine {
+
+namespace {
+
+struct GenericMetrics {
+  obs::Counter& jobs = obs::counter(
+      "selfish_engine_generic_jobs_total", "Generalized engine jobs run");
+  obs::Counter& cache_hits = obs::counter(
+      "selfish_engine_generic_cache_hits_total",
+      "Generalized engine jobs satisfied from the result store");
+};
+
+GenericMetrics& generic_metrics() {
+  static GenericMetrics metrics;
+  return metrics;
+}
+
+[[maybe_unused]] const GenericMetrics& g_registered_generic_metrics =
+    generic_metrics();
+
+}  // namespace
 
 JobKey generic_job_key(const GenericJob& job) {
   JobKey key;
@@ -40,13 +62,17 @@ GenericOutcome run_generic(const ExecutorRegistry& registry,
   SM_REQUIRE(executor != nullptr, "unknown job kind ", job.kind);
 
   const JobKey key = generic_job_key(job);
+  generic_metrics().jobs.add(1);
   if (auto hit = store.load_generic(key)) {
+    generic_metrics().cache_hits.add(1);
     GenericOutcome outcome;
     outcome.result = std::move(*hit);
     outcome.cached = true;
     return outcome;
   }
 
+  obs::Span span("engine.generic");
+  span.attr("kind", serve::Json(job.kind));
   const support::Timer timer;
   GenericOutcome outcome;
   outcome.result = (*executor)(job, ctx);

@@ -9,9 +9,33 @@
 
 #include <unistd.h>
 
+#include "obs/metrics.hpp"
+
 namespace engine {
 
 namespace {
+
+/// Store traffic + self-healing metrics, registered at static init so a
+/// fresh `metrics` scrape lists the family before any job runs.
+struct StoreMetrics {
+  obs::Counter& read_bytes = obs::counter(
+      "selfish_engine_store_read_bytes_total",
+      "Bytes of framed entries read back from the result store");
+  obs::Counter& written_bytes = obs::counter(
+      "selfish_engine_store_written_bytes_total",
+      "Bytes of framed entries written to the result store");
+  obs::Counter& healed = obs::counter(
+      "selfish_engine_store_healed_total",
+      "Corrupt or stale store entries deleted for recompute");
+};
+
+StoreMetrics& store_metrics() {
+  static StoreMetrics metrics;
+  return metrics;
+}
+
+[[maybe_unused]] const StoreMetrics& g_registered_store_metrics =
+    store_metrics();
 
 constexpr std::uint64_t kMagic = 0x53454c5245533031ULL;     // "SELRES01"
 constexpr std::uint64_t kMagicBlob = 0x53454c424c423031ULL;  // "SELBLB01"
@@ -137,6 +161,7 @@ std::optional<std::string> read_frame(const std::string& path,
     in.close();
     std::error_code ec;
     std::filesystem::remove(path, ec);  // heal: recompute overwrites
+    store_metrics().healed.add(1);
     return std::nullopt;
   };
 
@@ -160,6 +185,8 @@ std::optional<std::string> read_frame(const std::string& path,
       checksum != fnv1a64(payload.data(), payload.size())) {
     return reject();
   }
+  // Frame = 16-byte header + payload + 8-byte checksum.
+  store_metrics().read_bytes.add(payload.size() + 24);
   return payload;
 }
 
@@ -196,6 +223,7 @@ bool write_frame(const std::string& path, std::uint64_t magic,
     std::filesystem::remove(tmp, ec);
     return false;
   }
+  store_metrics().written_bytes.add(payload.size() + 24);
   return true;
 }
 
@@ -228,6 +256,7 @@ std::optional<StoredResult> ResultStore::load(const JobKey& key) const {
   if (!decode_payload(*payload, key, result)) {
     std::error_code ec;
     std::filesystem::remove(path, ec);  // heal: recompute overwrites
+    store_metrics().healed.add(1);
     return std::nullopt;
   }
   return result;
@@ -257,6 +286,7 @@ std::optional<GenericResult> ResultStore::load_generic(
   if (!decode_generic(*payload, key, result)) {
     std::error_code ec;
     std::filesystem::remove(path, ec);
+    store_metrics().healed.add(1);
     return std::nullopt;
   }
   return result;

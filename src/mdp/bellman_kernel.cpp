@@ -6,12 +6,44 @@
 #include <memory>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 #include "support/parallel.hpp"
+#include "support/timer.hpp"
 
 namespace mdp {
 
 namespace {
+
+/// Solver metric handles, registered once. The namespace-scope reference
+/// below forces registration at static-init time so a fresh process's
+/// `metrics` scrape already lists the mdp family at zero.
+struct MdpMetrics {
+  obs::Counter& solves = obs::counter(
+      "selfish_mdp_solves_total", "Mean-payoff solves completed");
+  obs::Counter& sweeps = obs::counter(
+      "selfish_mdp_sweeps_total", "Synchronous Bellman backup sweeps run");
+  obs::Counter& iterations = obs::counter(
+      "selfish_mdp_iterations_total", "Solver iterations across all solves");
+  obs::Gauge& bytes_per_sweep = obs::gauge(
+      "selfish_mdp_bytes_per_sweep",
+      "Bytes streamed by one backup sweep of the most recent model");
+  obs::Histogram& sweep_seconds = obs::histogram(
+      "selfish_mdp_sweep_seconds", "Wall time of one parallel backup sweep",
+      obs::exponential_buckets(1e-5, 4.0, 12));
+  obs::Histogram& achieved_gbps = obs::histogram(
+      "selfish_mdp_achieved_gbps",
+      "Memory bandwidth achieved by backup sweeps (roofline number)",
+      obs::exponential_buckets(0.25, 2.0, 10));
+};
+
+MdpMetrics& mdp_metrics() {
+  static MdpMetrics metrics;
+  return metrics;
+}
+
+[[maybe_unused]] const MdpMetrics& g_registered_mdp_metrics = mdp_metrics();
 
 /// Below this many states per worker, extra threads cost more in barrier
 /// latency than they save; the sweep scheduler caps the worker count
@@ -154,6 +186,17 @@ std::size_t BellmanKernel::memory_bytes() const {
          reward_.capacity() * sizeof(double);
 }
 
+std::size_t BellmanKernel::bytes_per_sweep() const {
+  // Per transition: target id + probability + the v[target] gather.
+  // Per action: fused reward + CSR offset. Per state: action offset +
+  // v[s] read + v_next[s] write. Compulsory traffic only — a lower bound
+  // on actual traffic (gathers that miss cost whole cache lines), which
+  // keeps the derived GB/s number conservative.
+  return targets_.size() * (sizeof(StateId) + 2 * sizeof(double)) +
+         adv_.size() * (sizeof(double) + sizeof(std::uint32_t)) +
+         (action_begin_.size() - 1) * (sizeof(ActionId) + 2 * sizeof(double));
+}
+
 void BellmanKernel::fuse_rewards(double beta) const {
   const ActionId num_actions = static_cast<ActionId>(adv_.size());
   reward_.resize(num_actions);
@@ -187,7 +230,17 @@ MeanPayoffResult BellmanKernel::value_iteration(
   std::vector<double> chunk_lo(sweep.num_chunks());
   std::vector<double> chunk_hi(sweep.num_chunks());
 
+  // Observe-only roofline bookkeeping: timing covers the backup sweep
+  // alone (the bandwidth-bound phase), and the timer itself is skipped
+  // when observability is off so the hot loop stays untouched.
+  obs::Span span("mdp.value_iteration");
+  const bool observe = obs::enabled();
+  const double sweep_bytes = static_cast<double>(bytes_per_sweep());
+  if (observe) mdp_metrics().bytes_per_sweep.set(
+      static_cast<std::int64_t>(sweep_bytes));
+
   for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    support::Timer sweep_timer;
     sweep.run([&](std::size_t c) {
       const auto [begin, end] = sweep.bounds(c);
       double lo = std::numeric_limits<double>::infinity();
@@ -205,6 +258,15 @@ MeanPayoffResult BellmanKernel::value_iteration(
       chunk_lo[c] = lo;
       chunk_hi[c] = hi;
     });
+    if (observe) {
+      const double elapsed = sweep_timer.seconds();
+      MdpMetrics& metrics = mdp_metrics();
+      metrics.sweeps.add(1);
+      metrics.sweep_seconds.observe(elapsed);
+      if (elapsed > 0.0) {
+        metrics.achieved_gbps.observe(sweep_bytes / elapsed / 1e9);
+      }
+    }
     // min/max are exact under any grouping; combining the per-chunk
     // reductions in chunk order is for clarity, not correctness.
     double delta_lo = std::numeric_limits<double>::infinity();
@@ -233,6 +295,15 @@ MeanPayoffResult BellmanKernel::value_iteration(
   }
 
   result.gain = 0.5 * (result.gain_lo + result.gain_hi);
+  if (observe) {
+    MdpMetrics& metrics = mdp_metrics();
+    metrics.solves.add(1);
+    metrics.iterations.add(static_cast<std::uint64_t>(result.iterations));
+  }
+  span.attr("states", serve::Json(static_cast<std::int64_t>(n)));
+  span.attr("iterations", serve::Json(
+      static_cast<std::int64_t>(result.iterations)));
+  span.attr("converged", serve::Json(result.converged));
   // result.policy was captured by the final sweep: greedy w.r.t. the
   // vector that sweep backed up from (within tol of the returned values'
   // greedy policy once converged) — no extra extraction sweep needed.
@@ -262,6 +333,12 @@ MeanPayoffResult BellmanKernel::gauss_seidel(
   const SweepRunner sweep(n, threads);
   std::vector<double> chunk_lo(sweep.num_chunks());
   std::vector<double> chunk_hi(sweep.num_chunks());
+
+  obs::Span span("mdp.gauss_seidel");
+  if (obs::enabled()) {
+    mdp_metrics().bytes_per_sweep.set(
+        static_cast<std::int64_t>(bytes_per_sweep()));
+  }
 
   // True when result.policy is greedy w.r.t. the vector the most recent
   // synchronous sweep read (no in-place sweep has moved v since).
@@ -347,6 +424,17 @@ MeanPayoffResult BellmanKernel::gauss_seidel(
   }
   result.iterations = iter;
   result.gain = 0.5 * (result.gain_lo + result.gain_hi);
+  if (obs::enabled()) {
+    MdpMetrics& metrics = mdp_metrics();
+    metrics.solves.add(1);
+    // Every Gauss–Seidel iteration is one full state sweep (in-place or
+    // synchronous certification).
+    metrics.sweeps.add(static_cast<std::uint64_t>(iter));
+    metrics.iterations.add(static_cast<std::uint64_t>(iter));
+  }
+  span.attr("states", serve::Json(static_cast<std::int64_t>(n)));
+  span.attr("iterations", serve::Json(static_cast<std::int64_t>(iter)));
+  span.attr("converged", serve::Json(result.converged));
   if (!policy_fresh) {
     // Only reachable without convergence (the converged exit leaves the
     // final certifier's policy in place): extract against the current v

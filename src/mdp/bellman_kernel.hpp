@@ -65,6 +65,14 @@ class BellmanKernel {
   /// Heap footprint of the SoA arrays (on top of the Mdp's own storage).
   std::size_t memory_bytes() const;
 
+  /// Bytes one synchronous backup sweep streams through memory: the flat
+  /// transition arrays plus the value gather per transition, the reward
+  /// and offset loads per action, and the value read + write per state.
+  /// Dividing by measured per-sweep wall time gives the achieved GB/s the
+  /// ROADMAP's roofline item asks for (exported as
+  /// selfish_mdp_bytes_per_sweep / selfish_mdp_achieved_gbps).
+  std::size_t bytes_per_sweep() const;
+
  private:
   friend struct BellmanKernelView;
 

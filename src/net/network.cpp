@@ -7,11 +7,36 @@
 #include <utility>
 
 #include "net/event.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/check.hpp"
+#include "support/timer.hpp"
 
 namespace net {
 
 namespace {
+
+/// Simulator throughput metrics, registered at static init so a fresh
+/// `metrics` scrape lists the net family before any run.
+struct NetMetrics {
+  obs::Counter& runs = obs::counter(
+      "selfish_net_runs_total", "Network simulations completed");
+  obs::Counter& events = obs::counter(
+      "selfish_net_events_total", "Discrete events processed across runs");
+  obs::Gauge& queue_high_water = obs::gauge(
+      "selfish_net_queue_high_water",
+      "Largest event-queue depth seen by any run (process high-water)");
+  obs::Histogram& run_seconds = obs::histogram(
+      "selfish_net_run_seconds", "Wall time of one network simulation",
+      obs::exponential_buckets(1e-4, 4.0, 12));
+};
+
+NetMetrics& net_metrics() {
+  static NetMetrics metrics;
+  return metrics;
+}
+
+[[maybe_unused]] const NetMetrics& g_registered_net_metrics = net_metrics();
 
 class Simulator {
  public:
@@ -50,6 +75,7 @@ class Simulator {
 
   NetworkResult run() {
     while (!queue_.empty() && result_.mine_events < config_.blocks) {
+      note_queue_depth();
       const Event event = queue_.pop();
       if (event.kind == EventKind::kMine) {
         if (event.generation != generation_[event.node]) continue;  // stale
@@ -68,6 +94,7 @@ class Simulator {
     // arrivals only for newly accepted blocks, relays happen once per
     // (node, block), and sync fetches walk finite ancestries.
     while (!queue_.empty()) {
+      note_queue_depth();
       const Event event = queue_.pop();
       if (event.kind == EventKind::kMine) continue;
       process_arrival(event);
@@ -78,6 +105,15 @@ class Simulator {
   }
 
  private:
+  /// Samples the backlog at every pop: pushes only happen while handling
+  /// the previous event, so the pre-pop size bounds the run's depth.
+  /// Part of NetworkResult (a deterministic simulation statistic), not an
+  /// obs-only quantity.
+  void note_queue_depth() {
+    const std::uint64_t depth = static_cast<std::uint64_t>(queue_.size());
+    if (depth > result_.queue_high_water) result_.queue_high_water = depth;
+  }
+
   void process_arrival(const Event& event) {
     now_ = event.time;
     ++result_.events;
@@ -492,8 +528,22 @@ PropagationMode propagation_from_string(const std::string& name) {
 
 NetworkResult run_network(const NetworkConfig& config,
                           std::vector<MinerSetup> miners) {
+  obs::Span span("net.run");
+  const support::Timer timer;
   Simulator simulator(config, std::move(miners));
-  return simulator.run();
+  NetworkResult result = simulator.run();
+  if (obs::enabled()) {
+    NetMetrics& metrics = net_metrics();
+    metrics.runs.add(1);
+    metrics.events.add(result.events);
+    metrics.queue_high_water.max_of(
+        static_cast<std::int64_t>(result.queue_high_water));
+    metrics.run_seconds.observe(timer.seconds());
+  }
+  span.attr("events", serve::Json(static_cast<std::int64_t>(result.events)));
+  span.attr("blocks", serve::Json(
+      static_cast<std::int64_t>(result.mine_events)));
+  return result;
 }
 
 }  // namespace net

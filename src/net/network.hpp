@@ -98,6 +98,9 @@ struct NetworkResult {
   std::uint64_t sync_arrivals = 0;     ///< kSync parent fetches delivered.
   std::uint64_t duplicate_arrivals = 0;///< Arrivals dropped as known.
   std::uint64_t cut_sends = 0;         ///< Sends dropped by partition cuts.
+  /// Largest event-queue size observed while the run drained — how deep
+  /// the in-flight backlog got (bursts after a partition heal dominate).
+  std::uint64_t queue_high_water = 0;
   /// Largest (first receipt time - first broadcast time) over all first
   /// receipts: the worst end-to-end propagation of any published block.
   double worst_propagation = 0.0;

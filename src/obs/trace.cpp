@@ -1,0 +1,81 @@
+#include "obs/trace.hpp"
+
+#if SELFISH_OBS_ENABLED
+
+#include <atomic>
+#include <fstream>
+#include <mutex>
+#include <stdexcept>
+
+namespace obs {
+
+namespace {
+
+// Sink state. The flag is read lock-free on the span fast path; the
+// stream and clock are touched only while a sink is open, under the lock.
+std::atomic<bool> g_tracing{false};
+std::mutex g_sink_mutex;
+std::ofstream g_sink;
+support::Timer g_trace_clock;
+
+}  // namespace
+
+void open_trace(const std::string& path) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  if (g_sink.is_open()) g_sink.close();
+  g_sink.open(path, std::ios::out | std::ios::trunc);
+  if (!g_sink.is_open()) {
+    throw std::runtime_error("obs: cannot open trace file: " + path);
+  }
+  g_trace_clock.reset();
+  g_tracing.store(true, std::memory_order_release);
+}
+
+void close_trace() {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  g_tracing.store(false, std::memory_order_release);
+  if (g_sink.is_open()) {
+    g_sink.flush();
+    g_sink.close();
+  }
+}
+
+bool tracing() { return g_tracing.load(std::memory_order_acquire); }
+
+Span::Span(const char* name)
+    : active_(tracing()),
+      name_(name),
+      timer_([this](double elapsed) { finish(elapsed); }) {
+  if (active_) {
+    start_ = g_trace_clock.seconds();
+  } else {
+    timer_.cancel();
+  }
+}
+
+void Span::attr(const char* key, serve::Json value) {
+  if (!active_) return;
+  attrs_.emplace_back(key, std::move(value));
+}
+
+void Span::finish(double elapsed_seconds) {
+  serve::JsonMembers record;
+  record.emplace_back("span", serve::Json(std::string(name_)));
+  record.emplace_back("start", serve::Json(start_));
+  record.emplace_back("end", serve::Json(start_ + elapsed_seconds));
+  record.emplace_back("dur", serve::Json(elapsed_seconds));
+  if (!attrs_.empty()) {
+    record.emplace_back("attrs", serve::Json::object(std::move(attrs_)));
+  }
+  const std::string line = serve::Json::object(std::move(record)).dump();
+
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  // The sink may have closed between construction and destruction; a
+  // closed-stream write would just set failbit, but skip it cleanly.
+  if (!g_sink.is_open()) return;
+  g_sink << line << '\n';
+}
+
+}  // namespace obs
+
+#endif  // SELFISH_OBS_ENABLED

@@ -1,0 +1,78 @@
+// Lightweight trace spans with NDJSON export.
+//
+// A Span is an RAII marker around a unit of work (a solve, a chain, a
+// scenario run, a request). When a trace sink is open (`--trace-out
+// <file>` on the CLI subcommands and the server), each span writes one
+// NDJSON line at scope exit:
+//
+//   {"span":"mdp.solve","start":0.0123,"end":1.9871,"dur":1.9748,
+//    "attrs":{"states":1218000,"iterations":412}}
+//
+// Times are seconds on the steady clock, relative to when the sink was
+// opened, so lines sort chronologically and diff cleanly across runs of
+// the same workload. With no sink open (the default), constructing a span
+// costs one relaxed atomic load and nothing is allocated. Like metrics,
+// spans observe only — they never alter any artifact the system renders.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"  // SELFISH_OBS_ENABLED
+#include "serve/json.hpp"
+#include "support/timer.hpp"
+
+namespace obs {
+
+#if SELFISH_OBS_ENABLED
+
+/// Opens `path` as the process-wide NDJSON trace sink (truncating) and
+/// starts the trace clock. Throws std::runtime_error if the file cannot
+/// be opened. Reopening switches sinks.
+void open_trace(const std::string& path);
+
+/// Flushes and closes the sink; spans become no-ops again.
+void close_trace();
+
+/// True while a trace sink is open.
+bool tracing();
+
+/// One traced scope. Records nothing unless a sink was open at
+/// construction time. attr() values ride along in the span's "attrs"
+/// object — keep them to identifiers and counts, not payloads.
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span() = default;
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  void attr(const char* key, serve::Json value);
+
+ private:
+  void finish(double elapsed_seconds);
+
+  bool active_;
+  const char* name_;
+  double start_ = 0.0;
+  serve::JsonMembers attrs_;
+  // Must be the last member: its sink runs in ~Span before the other
+  // members are destroyed, and it reads name_/start_/attrs_.
+  support::ScopedTimer timer_;
+};
+
+#else  // !SELFISH_OBS_ENABLED
+
+inline void open_trace(const std::string&) {}
+inline void close_trace() {}
+inline bool tracing() { return false; }
+
+class Span {
+ public:
+  explicit Span(const char*) {}
+  void attr(const char*, serve::Json) {}
+};
+
+#endif  // SELFISH_OBS_ENABLED
+
+}  // namespace obs

@@ -2,16 +2,44 @@
 
 #include <cmath>
 #include <cstdint>
+#include <map>
 #include <set>
 #include <utility>
 
 #include "engine/kinds.hpp"
 #include "mdp/solve.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
+#include "support/timer.hpp"
 
 namespace serve {
 
 namespace {
+
+/// Per-kind request latency histogram. Handles for every kind the
+/// protocol knows are resolved once (the registry lock is taken only
+/// here, at first use); unknown/malformed requests land in kind="other".
+obs::Histogram& request_latency(const std::string& kind) {
+  static const std::map<std::string, obs::Histogram*> histograms = [] {
+    std::map<std::string, obs::Histogram*> handles;
+    for (const char* known :
+         {"point", "sweep", "threshold", "upper-bound", "net-batch", "ping",
+          "stats", "metrics", "shutdown", "other"}) {
+      handles.emplace(
+          known, &obs::histogram(
+                     "selfish_serve_request_seconds",
+                     "End-to-end request latency (parse through render)",
+                     obs::exponential_buckets(1e-5, 4.0, 14),
+                     std::string("kind=\"") + known + "\""));
+    }
+    return handles;
+  }();
+  const auto it = histograms.find(kind);
+  return it == histograms.end() ? *histograms.at("other") : *it->second;
+}
+
+[[maybe_unused]] obs::Histogram& g_registered_request_latency =
+    request_latency("point");
 
 /// Typed, default-aware field access over a request object. Every field a
 /// kind understands is read exactly once; finish() rejects leftovers so
@@ -167,7 +195,7 @@ engine::GenericJob build_job(const std::string& kind, const Json& object) {
     throw ProtocolError(
         "unknown kind \"" + kind +
         "\" (expected point | sweep | threshold | upper-bound | "
-        "net-batch | ping | stats | shutdown)");
+        "net-batch | ping | stats | metrics | shutdown)");
   }
   return job;
 }
@@ -205,7 +233,30 @@ std::string render_stats(const Json& id, const ServiceStats& stats) {
                        Json(static_cast<double>(stats.lru_bytes)));
   members.emplace_back("lru_entries",
                        Json(static_cast<double>(stats.lru_entries)));
+  // Millisecond resolution keeps the canonical-double rendering short.
+  members.emplace_back(
+      "uptime_seconds",
+      Json(std::round(stats.uptime_seconds * 1e3) / 1e3));
+  JsonMembers kind_counts;
+  kind_counts.reserve(stats.kinds.size());
+  for (const auto& [kind, count] : stats.kinds) {
+    kind_counts.emplace_back(kind, Json(static_cast<double>(count)));
+  }
+  members.emplace_back("kinds", Json::object(std::move(kind_counts)));
   return finish_reply(std::move(members));
+}
+
+/// `metrics` reply: the Prometheus text exposition rides in `body`, same
+/// splice technique as render_result (the scrape can be tens of KB).
+std::string render_metrics(const Json& id) {
+  JsonMembers members = reply_head(id, true);
+  members.emplace_back("kind", Json("metrics"));
+  std::string reply = Json::object(std::move(members)).dump();
+  reply.pop_back();  // reopen the object: drop '}'
+  reply += ",\"body\":";
+  reply += json_quote(obs::prometheus_text());
+  reply += "}\n";
+  return reply;
 }
 
 /// Parses an already-decoded request object.
@@ -219,7 +270,7 @@ Request parse_request_object(const Json& object) {
   if (kind == nullptr) throw ProtocolError("missing \"kind\"");
   request.kind = kind->as_string();
   if (request.kind == "ping" || request.kind == "stats" ||
-      request.kind == "shutdown") {
+      request.kind == "metrics" || request.kind == "shutdown") {
     request.admin = true;
     FieldReader fields(object);
     fields.finish();  // admin requests take no options
@@ -265,6 +316,13 @@ HandledLine handle_request(Service& service, const std::string& line) {
   HandledLine handled;
   Json id;
   Request request;
+  // End-to-end latency (parse through render) per kind; requests that die
+  // in parsing are attributed to "other". Observe-only: the sink fires on
+  // every return path below and never touches the reply.
+  std::string latency_kind = "other";
+  const support::ScopedTimer latency([&latency_kind](double seconds) {
+    if (obs::enabled()) request_latency(latency_kind).observe(seconds);
+  });
   try {
     const Json object = Json::parse(line);
     // Echo the id even when validation below rejects the request.
@@ -272,6 +330,7 @@ HandledLine handle_request(Service& service, const std::string& line) {
       if (const Json* sent = object.find("id")) id = *sent;
     }
     request = parse_request_object(object);
+    latency_kind = request.kind;
   } catch (const std::exception& e) {
     // Rejected before reaching the service — count it there anyway, or
     // the operator-facing stats would show zero errors under a stream of
@@ -282,8 +341,13 @@ HandledLine handle_request(Service& service, const std::string& line) {
   }
   try {
     if (request.admin) {
+      service.note_admin(request.kind);
       if (request.kind == "stats") {
         handled.reply = render_stats(id, service.stats());
+        return handled;
+      }
+      if (request.kind == "metrics") {
+        handled.reply = render_metrics(id);
         return handled;
       }
       handled.shutdown = request.kind == "shutdown";

@@ -11,7 +11,8 @@
 //
 // Analysis kinds — point, sweep, threshold, upper-bound, net-batch — are
 // dispatched through the serving core (LRU, single-flight, store, solve).
-// Admin kinds — ping, stats, shutdown — answer from the server itself.
+// Admin kinds — ping, stats, metrics, shutdown — answer from the server
+// itself (`metrics` returns Prometheus text exposition in `body`).
 // Any failure (malformed JSON, unknown kind or field, out-of-range
 // parameters, executor error) produces {"ok":false,"error":...} on the
 // same line slot; the connection stays usable.
@@ -42,7 +43,7 @@ struct Request {
   Json id;
   std::string kind;
   engine::GenericJob job;  ///< Empty kind for admin requests.
-  bool admin = false;      ///< ping | stats | shutdown.
+  bool admin = false;      ///< ping | stats | metrics | shutdown.
 };
 
 /// Parses and validates one request line. Throws ProtocolError (or

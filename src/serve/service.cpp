@@ -3,10 +3,64 @@
 #include <utility>
 
 #include "engine/kinds.hpp"
+#include "obs/metrics.hpp"
 #include "support/check.hpp"
 #include "support/timer.hpp"
 
 namespace serve {
+
+namespace {
+
+/// Process-global serve metrics, mirroring the per-instance ServiceStats
+/// atomics (two relaxed increments per event — both cheap). Registered at
+/// static init so a fresh `metrics` scrape lists the family at zero.
+struct ServeMetrics {
+  obs::Counter& requests = obs::counter(
+      "selfish_serve_requests_total",
+      "Analysis executions plus protocol rejections");
+  obs::Counter& lru_hits = obs::counter(
+      "selfish_serve_lru_hits_total", "Requests answered from the LRU");
+  obs::Counter& store_hits = obs::counter(
+      "selfish_serve_store_hits_total",
+      "Requests answered from the disk store");
+  obs::Counter& solves = obs::counter(
+      "selfish_serve_solves_total", "Requests that computed a fresh artifact");
+  obs::Counter& coalesced = obs::counter(
+      "selfish_serve_coalesced_total",
+      "Requests that joined an identical in-flight computation");
+  obs::Counter& errors = obs::counter(
+      "selfish_serve_errors_total", "Executor or dispatch failures");
+  obs::Counter& rejected = obs::counter(
+      "selfish_serve_rejected_total", "Protocol-level rejections");
+  obs::Counter& lru_evictions = obs::counter(
+      "selfish_serve_lru_evictions_total",
+      "Entries evicted past the LRU byte budget");
+  obs::Gauge& lru_bytes = obs::gauge(
+      "selfish_serve_lru_bytes", "Current LRU payload residency in bytes");
+  obs::Gauge& lru_entries = obs::gauge(
+      "selfish_serve_lru_entries", "Artifacts resident in the LRU");
+  obs::Gauge& inflight = obs::gauge(
+      "selfish_serve_inflight", "Queries currently inside execute()");
+};
+
+ServeMetrics& serve_metrics() {
+  static ServeMetrics metrics;
+  return metrics;
+}
+
+[[maybe_unused]] const ServeMetrics& g_registered_serve_metrics =
+    serve_metrics();
+
+/// RAII in-flight gauge bump: exception-safe across execute()'s throws.
+class InflightGuard {
+ public:
+  InflightGuard() { serve_metrics().inflight.add(1); }
+  ~InflightGuard() { serve_metrics().inflight.add(-1); }
+  InflightGuard(const InflightGuard&) = delete;
+  InflightGuard& operator=(const InflightGuard&) = delete;
+};
+
+}  // namespace
 
 const char* to_string(Source source) {
   switch (source) {
@@ -29,9 +83,23 @@ Service::Service(ServiceOptions options,
       pool_(support::resolve_thread_count(options_.threads)) {
   context_.cache_dir = options_.cache_dir;
   context_.threads = support::resolve_thread_count(options_.job_threads);
+  // Freeze the per-kind count table: one slot per executor kind plus the
+  // admin kinds. After construction the map is structurally immutable, so
+  // note_kind() reads it without a lock.
+  for (const std::string& kind : registry_.kinds()) kind_counts_[kind];
+  for (const char* kind : {"ping", "stats", "metrics", "shutdown"}) {
+    kind_counts_[kind];
+  }
 }
 
 Service::~Service() { pool_.wait_idle(); }
+
+void Service::note_kind(const std::string& kind) {
+  const auto it = kind_counts_.find(kind);
+  if (it != kind_counts_.end()) {
+    it->second.fetch_add(1, std::memory_order_relaxed);
+  }
+}
 
 void Service::lru_insert(const std::string& key, const PayloadPtr& payload,
                          double seconds) {
@@ -50,18 +118,27 @@ void Service::lru_insert(const std::string& key, const PayloadPtr& payload,
     lru_bytes_ -= victim.payload->size();
     lru_index_.erase(victim.key);
     lru_.pop_back();
-    ++stats_.lru_evictions;
+    lru_evictions_.fetch_add(1, std::memory_order_relaxed);
+    serve_metrics().lru_evictions.add(1);
   }
+  lru_bytes_now_.store(lru_bytes_, std::memory_order_relaxed);
+  lru_entries_now_.store(lru_.size(), std::memory_order_relaxed);
+  serve_metrics().lru_bytes.set(static_cast<std::int64_t>(lru_bytes_));
+  serve_metrics().lru_entries.set(static_cast<std::int64_t>(lru_.size()));
 }
 
 QueryOutcome Service::execute(const engine::GenericJob& job) {
+  const InflightGuard inflight;
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  serve_metrics().requests.add(1);
+  note_kind(job.kind);
+
   // Unknown kinds must reject on the caller's thread, before a flight is
   // created (the pool would otherwise own the throw).
   const engine::Executor* executor = registry_.find(job.kind);
   if (executor == nullptr) {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.requests;
-    ++stats_.errors;
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    serve_metrics().errors.add(1);
     throw support::InvalidArgument("unknown job kind " + job.kind);
   }
 
@@ -72,11 +149,9 @@ QueryOutcome Service::execute(const engine::GenericJob& job) {
   double lru_seconds = 0.0;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.requests;
     if (const auto it = lru_index_.find(key.canonical);
         it != lru_index_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);  // touch
-      ++stats_.lru_hits;
       lru_payload = it->second->payload;  // copy the bytes outside the lock
       lru_seconds = it->second->seconds;
     } else {
@@ -85,12 +160,15 @@ QueryOutcome Service::execute(const engine::GenericJob& job) {
         slot = std::make_shared<Flight>();
         leader = true;
       } else {
-        ++stats_.coalesced;
+        coalesced_.fetch_add(1, std::memory_order_relaxed);
+        serve_metrics().coalesced.add(1);
       }
       flight = slot;
     }
   }
   if (lru_payload != nullptr) {
+    lru_hits_.fetch_add(1, std::memory_order_relaxed);
+    serve_metrics().lru_hits.add(1);
     QueryOutcome outcome;
     outcome.payload = std::move(lru_payload);
     outcome.seconds = lru_seconds;
@@ -119,15 +197,19 @@ QueryOutcome Service::execute(const engine::GenericJob& job) {
         failed = true;
         error = e.what();
       }
+      if (failed) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        serve_metrics().errors.add(1);
+      } else if (source == Source::kStore) {
+        store_hits_.fetch_add(1, std::memory_order_relaxed);
+        serve_metrics().store_hits.add(1);
+      } else {
+        solves_.fetch_add(1, std::memory_order_relaxed);
+        serve_metrics().solves.add(1);
+      }
       {
         const std::lock_guard<std::mutex> lock(mutex_);
-        if (failed) {
-          ++stats_.errors;
-        } else {
-          if (source == Source::kStore) ++stats_.store_hits;
-          else ++stats_.solves;
-          lru_insert(key.canonical, payload, seconds);
-        }
+        if (!failed) lru_insert(key.canonical, payload, seconds);
         flights_.erase(key.canonical);
       }
       {
@@ -157,16 +239,31 @@ QueryOutcome Service::execute(const engine::GenericJob& job) {
 }
 
 void Service::note_rejected() {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  ++stats_.requests;
-  ++stats_.rejected;
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  rejected_.fetch_add(1, std::memory_order_relaxed);
+  serve_metrics().requests.add(1);
+  serve_metrics().rejected.add(1);
 }
 
+void Service::note_admin(const std::string& kind) { note_kind(kind); }
+
 ServiceStats Service::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  ServiceStats out = stats_;
-  out.lru_bytes = lru_bytes_;
-  out.lru_entries = lru_.size();
+  ServiceStats out;
+  out.requests = requests_.load(std::memory_order_relaxed);
+  out.lru_hits = lru_hits_.load(std::memory_order_relaxed);
+  out.store_hits = store_hits_.load(std::memory_order_relaxed);
+  out.solves = solves_.load(std::memory_order_relaxed);
+  out.coalesced = coalesced_.load(std::memory_order_relaxed);
+  out.errors = errors_.load(std::memory_order_relaxed);
+  out.rejected = rejected_.load(std::memory_order_relaxed);
+  out.lru_evictions = lru_evictions_.load(std::memory_order_relaxed);
+  out.lru_bytes = lru_bytes_now_.load(std::memory_order_relaxed);
+  out.lru_entries = lru_entries_now_.load(std::memory_order_relaxed);
+  out.uptime_seconds = uptime_.seconds();
+  out.kinds.reserve(kind_counts_.size());
+  for (const auto& [kind, count] : kind_counts_) {
+    out.kinds.emplace_back(kind, count.load(std::memory_order_relaxed));
+  }
   return out;
 }
 

@@ -20,17 +20,22 @@
 // pool starvation cannot deadlock the transport).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <list>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "engine/generic.hpp"
 #include "engine/store.hpp"
 #include "support/parallel.hpp"
+#include "support/timer.hpp"
 
 namespace serve {
 
@@ -69,7 +74,10 @@ struct QueryOutcome {
   bool cached = false;  ///< Any layer short of a fresh solve.
 };
 
-/// Monotonic counters since service start.
+/// Monotonic counters since service start. Snapshotting these never
+/// touches the LRU mutex — every source field is a relaxed atomic, so a
+/// `stats`/`metrics` poll cannot contend with request handling (reads may
+/// interleave with concurrent updates; each field is individually exact).
 struct ServiceStats {
   std::uint64_t requests = 0;
   std::uint64_t lru_hits = 0;
@@ -81,6 +89,11 @@ struct ServiceStats {
   std::uint64_t lru_evictions = 0;
   std::size_t lru_bytes = 0;    ///< Current LRU payload residency.
   std::size_t lru_entries = 0;
+  double uptime_seconds = 0.0;  ///< Since Service construction.
+  /// Requests per kind (analysis kinds via execute(), admin kinds via
+  /// note_admin()), sorted by kind name. Every kind the service can
+  /// answer appears, zeros included.
+  std::vector<std::pair<std::string, std::uint64_t>> kinds;
 };
 
 class Service {
@@ -104,6 +117,11 @@ class Service {
   /// without this the stats would show zero errors while clients are
   /// being turned away.
   void note_rejected();
+
+  /// Records an admin request (ping | stats | metrics | shutdown) in the
+  /// per-kind counts. Deliberately does not bump `requests`, which keeps
+  /// its historical meaning: analysis executions plus rejections.
+  void note_admin(const std::string& kind);
 
   ServiceStats stats() const;
   const ServiceOptions& options() const { return options_; }
@@ -138,18 +156,40 @@ class Service {
   void lru_insert(const std::string& key, const PayloadPtr& payload,
                   double seconds);
 
+  /// Bumps the per-kind request count (no-op for unknown kinds — the
+  /// count table is frozen at construction).
+  void note_kind(const std::string& kind);
+
   ServiceOptions options_;
   const engine::ExecutorRegistry& registry_;
   engine::ResultStore store_;
   engine::ExecContext context_;
   support::ThreadPool pool_;
+  const support::Timer uptime_;
 
   mutable std::mutex mutex_;
   std::list<LruEntry> lru_;  ///< Front = most recent.
   std::unordered_map<std::string, std::list<LruEntry>::iterator> lru_index_;
   std::size_t lru_bytes_ = 0;
   std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
-  ServiceStats stats_;
+
+  // Stats counters live outside mutex_ (relaxed atomics) so stats() is a
+  // pure read; lru_bytes_now_/lru_entries_now_ mirror the mutex-guarded
+  // LRU state for the same reason.
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> lru_hits_{0};
+  std::atomic<std::uint64_t> store_hits_{0};
+  std::atomic<std::uint64_t> solves_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> lru_evictions_{0};
+  std::atomic<std::size_t> lru_bytes_now_{0};
+  std::atomic<std::size_t> lru_entries_now_{0};
+  /// Per-kind request counts. The key set is frozen at construction
+  /// (executor kinds + admin kinds), so concurrent lookups never mutate
+  /// the map and need no lock; the values are atomics.
+  std::map<std::string, std::atomic<std::uint64_t>> kind_counts_;
 };
 
 }  // namespace serve

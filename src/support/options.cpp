@@ -117,6 +117,10 @@ bool Options::was_set(const std::string& name) const {
   return values_.find(name) != values_.end();
 }
 
+bool Options::knows(const std::string& name) const {
+  return decls_.find(name) != decls_.end();
+}
+
 std::string Options::usage(const std::string& program) const {
   std::ostringstream os;
   os << "usage: " << program << " [options]\n";

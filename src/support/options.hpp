@@ -32,6 +32,11 @@ class Options {
   /// True if the user supplied the option explicitly (CLI or environment).
   bool was_set(const std::string& name) const;
 
+  /// True if the option was declared at all. Lets shared helpers act on
+  /// optional declarations ("apply --trace-out if this command has it")
+  /// without every command opting in.
+  bool knows(const std::string& name) const;
+
   /// Renders a --help style usage block.
   std::string usage(const std::string& program) const;
 

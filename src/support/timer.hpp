@@ -2,6 +2,8 @@
 #pragma once
 
 #include <chrono>
+#include <functional>
+#include <utility>
 
 namespace support {
 
@@ -23,6 +25,33 @@ class Timer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// RAII stopwatch: hands the elapsed seconds to `sink` when the scope
+/// ends. The one timing helper shared by the bench harnesses and the obs
+/// trace spans, so "how long did this block take" is measured the same
+/// way (steady_clock) everywhere.
+class ScopedTimer {
+ public:
+  using Sink = std::function<void(double seconds)>;
+
+  explicit ScopedTimer(Sink sink) : sink_(std::move(sink)) {}
+  ~ScopedTimer() {
+    if (sink_) sink_(timer_.seconds());
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Elapsed seconds so far, without waiting for scope exit.
+  double seconds() const { return timer_.seconds(); }
+
+  /// Drops the sink; nothing fires at destruction.
+  void cancel() { sink_ = nullptr; }
+
+ private:
+  Sink sink_;
+  Timer timer_;
 };
 
 }  // namespace support

@@ -9,6 +9,7 @@
 //   selfish-mining baselines --p=0.3 --gamma=0.5
 //   selfish-mining serve     --port=7077 --threads=0 --cache-dir=cache
 //   selfish-mining query     --port=7077 --kind=threshold --gamma=0.5 --d=2
+//   selfish-mining query     '{"kind":"metrics"}'
 //
 // Every subcommand accepts --help. Options may also come from the
 // SELFISH_* environment (see support::Options).
@@ -18,6 +19,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <vector>
 
 #include "analysis/algorithm1.hpp"
 #include "analysis/policy_stats.hpp"
@@ -33,6 +35,7 @@
 #include "mdp/export.hpp"
 #include "net/batch.hpp"
 #include "net/scenario.hpp"
+#include "obs/trace.hpp"
 #include "selfish/build.hpp"
 #include "selfish/cache.hpp"
 #include "serve/client.hpp"
@@ -46,6 +49,21 @@
 #include "support/timer.hpp"
 
 namespace {
+
+/// Every subcommand accepts --trace-out: when set, obs spans (solves,
+/// engine jobs, simulator runs, served requests) append NDJSON records to
+/// the file for the lifetime of the process. Observe-only — the command's
+/// stdout artifact is byte-identical with or without it.
+void declare_trace_option(support::Options& options) {
+  options.declare("trace-out", "",
+                  "write obs trace spans (NDJSON, one per span) to this "
+                  "file; empty = tracing off");
+}
+
+void apply_trace_option(const support::Options& options) {
+  const std::string path = options.get_string("trace-out");
+  if (!path.empty()) obs::open_trace(path);
+}
 
 void declare_model_options(support::Options& options) {
   options.declare("help", "false", "show this command's options");
@@ -61,10 +79,12 @@ void declare_model_options(support::Options& options) {
   options.declare("cache", "",
                   "binary model cache file: reused when valid, written "
                   "after a fresh build (worthwhile for d >= 3)");
+  declare_trace_option(options);
 }
 
 /// Parses argv and handles --help; returns true when the command should
-/// proceed (false = help was printed).
+/// proceed (false = help was printed). Opens the trace sink when the
+/// command declared --trace-out and the user set it.
 bool parse_or_help(support::Options& options, int argc,
                    const char* const* argv) {
   options.parse(argc, argv);
@@ -73,6 +93,7 @@ bool parse_or_help(support::Options& options, int argc,
                stderr);
     return false;
   }
+  if (options.knows("trace-out")) apply_trace_option(options);
   return true;
 }
 
@@ -312,6 +333,7 @@ int cmd_network(int argc, const char* const* argv) {
   options.declare("resample-clock", "false",
                   "restore the legacy resample-mining-clock-after-every-"
                   "event loop (default reschedules only on lane changes)");
+  declare_trace_option(options);
   if (!parse_or_help(options, argc, argv)) {
     std::fputs(("\nscenario families:\n" + net::scenario_help()).c_str(),
                stderr);
@@ -494,6 +516,7 @@ int cmd_serve(int argc, const char* const* argv) {
                   "commands; a restarted server answers warm from it");
   options.declare("lru-mb", "64",
                   "in-memory artifact cache budget in MiB (0 disables)");
+  declare_trace_option(options);
   if (!parse_or_help(options, argc, argv)) return 0;
 
   const int lru_mb = options.get_int("lru-mb");
@@ -542,13 +565,32 @@ int cmd_serve(int argc, const char* const* argv) {
 }
 
 int cmd_query(int argc, const char* const* argv) {
+  // One positional argument starting with '{' is a raw JSON request line
+  // sent verbatim — `selfish-mining query '{"kind":"metrics"}'` — which
+  // sidesteps the typed flags entirely. (`{` cannot collide with option
+  // values: every `--name value` pair parses before this scan removes the
+  // positional, and no declared option takes a JSON object.)
+  std::string raw_request;
+  std::vector<const char*> flag_argv;
+  flag_argv.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0 && argv[i][0] == '{') {
+      SM_REQUIRE(raw_request.empty(),
+                 "query takes at most one positional JSON request");
+      raw_request = argv[i];
+    } else {
+      flag_argv.push_back(argv[i]);
+    }
+  }
+
   support::Options options;
   options.declare("help", "false", "show this command's options");
   options.declare("host", "127.0.0.1", "server address");
   options.declare("port", "7077", "server TCP port");
   options.declare("kind", "point",
                   "query kind: point | sweep | threshold | upper-bound | "
-                  "net-batch | ping | stats | shutdown");
+                  "net-batch | ping | stats | metrics | shutdown "
+                  "(ignored when a positional JSON request is given)");
   options.declare("raw", "false",
                   "print the raw JSON response line instead of the body");
   // Every analysis-kind option, typed. Only options the user explicitly
@@ -597,33 +639,38 @@ int cmd_query(int argc, const char* const* argv) {
   for (const Field& field : kFields) {
     options.declare(field.name, field.preset, field.help);
   }
-  if (!parse_or_help(options, argc, argv)) return 0;
-
-  serve::JsonMembers members;
-  members.emplace_back("kind", serve::Json(options.get_string("kind")));
-  for (const Field& field : kFields) {
-    if (!options.was_set(field.name)) continue;
-    switch (field.type) {
-      case 'd':
-        members.emplace_back(field.name,
-                             serve::Json(options.get_double(field.name)));
-        break;
-      case 'i':
-        members.emplace_back(
-            field.name,
-            serve::Json(static_cast<double>(options.get_int(field.name))));
-        break;
-      case 'b':
-        members.emplace_back(field.name,
-                             serve::Json(options.get_bool(field.name)));
-        break;
-      default:
-        members.emplace_back(field.name,
-                             serve::Json(options.get_string(field.name)));
-    }
+  if (!parse_or_help(options, static_cast<int>(flag_argv.size()),
+                     flag_argv.data())) {
+    return 0;
   }
-  const std::string request =
-      serve::Json::object(std::move(members)).dump();
+
+  std::string request = raw_request;
+  if (request.empty()) {
+    serve::JsonMembers members;
+    members.emplace_back("kind", serve::Json(options.get_string("kind")));
+    for (const Field& field : kFields) {
+      if (!options.was_set(field.name)) continue;
+      switch (field.type) {
+        case 'd':
+          members.emplace_back(field.name,
+                               serve::Json(options.get_double(field.name)));
+          break;
+        case 'i':
+          members.emplace_back(
+              field.name,
+              serve::Json(static_cast<double>(options.get_int(field.name))));
+          break;
+        case 'b':
+          members.emplace_back(field.name,
+                               serve::Json(options.get_bool(field.name)));
+          break;
+        default:
+          members.emplace_back(field.name,
+                               serve::Json(options.get_string(field.name)));
+      }
+    }
+    request = serve::Json::object(std::move(members)).dump();
+  }
 
   serve::Client client(options.get_string("host"), options.get_int("port"));
   if (options.get_bool("raw")) {
