@@ -12,6 +12,7 @@
 //
 //   bench_serve [--threads=0] [--bench-full]
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <string>
@@ -184,6 +185,16 @@ PassResult run_pass(int port, const Workload& workload, int clients,
   return result;
 }
 
+/// Renders a quantile in milliseconds, or "-" when the histogram was
+/// empty (quantile() returns NaN then).
+std::string quantile_ms(const obs::HistogramSnapshot& hist, double q) {
+  const double value = hist.quantile(q);
+  if (std::isnan(value)) return "-";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%8.3f", value * 1e3);
+  return buffer;
+}
+
 void report(const char* label, const PassResult& pass,
             const ServerCounters& server,
             const obs::HistogramSnapshot& hist) {
@@ -196,10 +207,11 @@ void report(const char* label, const PassResult& pass,
   // Server-side latency (parse through render, no socket round-trip)
   // straight from the serve histograms.
   if (hist.count > 0) {
-    std::printf("      server p50 %8.3f ms  p90 %8.3f ms  p99 %8.3f ms  "
+    std::printf("      server p50 %s ms  p90 %s ms  p99 %s ms  "
                 "(%llu observations)\n",
-                hist.quantile(0.50) * 1e3, hist.quantile(0.90) * 1e3,
-                hist.quantile(0.99) * 1e3,
+                quantile_ms(hist, 0.50).c_str(),
+                quantile_ms(hist, 0.90).c_str(),
+                quantile_ms(hist, 0.99).c_str(),
                 static_cast<unsigned long long>(hist.count));
   } else {
     std::printf("      server histograms empty (obs runtime-disabled or "

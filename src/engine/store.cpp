@@ -9,6 +9,7 @@
 
 #include <unistd.h>
 
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 
 namespace engine {
@@ -162,6 +163,8 @@ std::optional<std::string> read_frame(const std::string& path,
     std::error_code ec;
     std::filesystem::remove(path, ec);  // heal: recompute overwrites
     store_metrics().healed.add(1);
+    obs::log_warn("engine", "healed corrupt store entry (bad frame)",
+                  {{"path", serve::Json(path)}});
     return std::nullopt;
   };
 
@@ -257,6 +260,8 @@ std::optional<StoredResult> ResultStore::load(const JobKey& key) const {
     std::error_code ec;
     std::filesystem::remove(path, ec);  // heal: recompute overwrites
     store_metrics().healed.add(1);
+    obs::log_warn("engine", "healed corrupt store entry (bad payload)",
+                  {{"path", serve::Json(path)}});
     return std::nullopt;
   }
   return result;
@@ -287,6 +292,8 @@ std::optional<GenericResult> ResultStore::load_generic(
     std::error_code ec;
     std::filesystem::remove(path, ec);
     store_metrics().healed.add(1);
+    obs::log_warn("engine", "healed corrupt store entry (bad payload)",
+                  {{"path", serve::Json(path)}});
     return std::nullopt;
   }
   return result;

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <stdexcept>
 
 namespace obs {
@@ -23,7 +24,11 @@ namespace {
 }  // namespace
 
 double HistogramSnapshot::quantile(double q) const {
-  if (count == 0 || bounds.empty()) return 0.0;
+  // NaN, not 0.0: an empty histogram has no quantiles, and 0.0 would be
+  // indistinguishable from a real zero-latency percentile in reports.
+  if (count == 0 || bounds.empty()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
   q = std::min(std::max(q, 0.0), 1.0);
   // Rank of the target observation (1-based, ceil as Prometheus does).
   const double rank = q * static_cast<double>(count);

@@ -55,7 +55,8 @@ struct HistogramSnapshot {
   /// The q-quantile (q in [0,1]) by linear interpolation inside the
   /// containing bucket (lower edge 0 for the first bucket — all
   /// instrumented quantities are non-negative). Values in the overflow
-  /// bucket clamp to the last finite bound. 0 when empty.
+  /// bucket clamp to the last finite bound. NaN when empty (an absent
+  /// quantile must not masquerade as a real 0).
   double quantile(double q) const;
 };
 

@@ -74,6 +74,9 @@ Reply decode_reply(const std::string& line) {
   const Json* ok = reply.raw.find("ok");
   SM_REQUIRE(ok != nullptr, "response lacks \"ok\"");
   reply.ok = ok->as_bool();
+  if (const Json* trace_id = reply.raw.find("trace_id")) {
+    reply.trace_id = trace_id->as_string();
+  }
   if (!reply.ok) {
     if (const Json* error = reply.raw.find("error")) {
       reply.error = error->as_string();

@@ -12,10 +12,11 @@ namespace serve {
 /// A decoded response line.
 struct Reply {
   bool ok = false;
-  std::string error;   ///< When !ok.
-  std::string kind;    ///< When ok.
-  std::string body;    ///< The rendered artifact (analysis kinds).
-  std::string source;  ///< lru | store | solve | coalesced.
+  std::string error;     ///< When !ok.
+  std::string kind;      ///< When ok.
+  std::string body;      ///< The rendered artifact (analysis kinds).
+  std::string source;    ///< lru | store | solve | coalesced.
+  std::string trace_id;  ///< Echoed client trace id (empty if none sent).
   bool cached = false;
   double seconds = 0.0;
   Json raw;  ///< The full response object (admin replies carry extras).

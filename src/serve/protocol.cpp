@@ -1,15 +1,20 @@
 #include "serve/protocol.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <set>
 #include <utility>
+#include <vector>
 
 #include "engine/kinds.hpp"
 #include "mdp/solve.hpp"
 #include "net/network.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/timer.hpp"
 
 namespace serve {
@@ -24,7 +29,7 @@ obs::Histogram& request_latency(const std::string& kind) {
     std::map<std::string, obs::Histogram*> handles;
     for (const char* known :
          {"point", "sweep", "threshold", "upper-bound", "net-batch", "ping",
-          "stats", "metrics", "shutdown", "other"}) {
+          "stats", "metrics", "trace-dump", "shutdown", "other"}) {
       handles.emplace(
           known, &obs::histogram(
                      "selfish_serve_request_seconds",
@@ -41,6 +46,47 @@ obs::Histogram& request_latency(const std::string& kind) {
 [[maybe_unused]] obs::Histogram& g_registered_request_latency =
     request_latency("point");
 
+/// Worst-N latency exemplars per request kind: the N slowest requests
+/// seen, each with the trace id that identifies its span tree in a
+/// `trace-dump`. A slow p99 in the latency histogram thus comes with a
+/// concrete trace to pull. Small and mutex-guarded: one record per
+/// request, snapshots only on `stats`.
+struct Exemplar {
+  double seconds = 0.0;
+  std::uint64_t trace_id = 0;
+};
+
+class ExemplarTable {
+ public:
+  static constexpr std::size_t kWorstN = 4;
+
+  void record(const std::string& kind, double seconds,
+              std::uint64_t trace_id) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<Exemplar>& worst = worst_[kind];
+    worst.push_back(Exemplar{seconds, trace_id});
+    std::sort(worst.begin(), worst.end(),
+              [](const Exemplar& a, const Exemplar& b) {
+                return a.seconds > b.seconds;
+              });
+    if (worst.size() > kWorstN) worst.resize(kWorstN);
+  }
+
+  std::map<std::string, std::vector<Exemplar>> snapshot() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return worst_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::vector<Exemplar>> worst_;
+};
+
+ExemplarTable& exemplars() {
+  static ExemplarTable table;
+  return table;
+}
+
 /// Typed, default-aware field access over a request object. Every field a
 /// kind understands is read exactly once; finish() rejects leftovers so
 /// typos surface as errors instead of silently applying defaults (the
@@ -50,6 +96,7 @@ class FieldReader {
   explicit FieldReader(const Json& object) : object_(object) {
     consumed_.insert("id");
     consumed_.insert("kind");
+    consumed_.insert("trace_id");  // parsed by parse_request_object
   }
 
   double number(const std::string& name, double fallback) {
@@ -195,16 +242,19 @@ engine::GenericJob build_job(const std::string& kind, const Json& object) {
     throw ProtocolError(
         "unknown kind \"" + kind +
         "\" (expected point | sweep | threshold | upper-bound | "
-        "net-batch | ping | stats | metrics | shutdown)");
+        "net-batch | ping | stats | metrics | trace-dump | shutdown)");
   }
   return job;
 }
 
-/// Prefixes the echoed id when the client sent one.
-JsonMembers reply_head(const Json& id, bool ok) {
+/// Prefixes the echoed id when the client sent one, and the trace id
+/// when the request has one (client-supplied or server-minted).
+JsonMembers reply_head(const Json& id, bool ok,
+                       const std::string& trace_id = "") {
   JsonMembers members;
   if (!id.is_null()) members.emplace_back("id", id);
   members.emplace_back("ok", Json(ok));
+  if (!trace_id.empty()) members.emplace_back("trace_id", Json(trace_id));
   return members;
 }
 
@@ -212,8 +262,9 @@ std::string finish_reply(JsonMembers members) {
   return Json::object(std::move(members)).dump() + "\n";
 }
 
-std::string render_stats(const Json& id, const ServiceStats& stats) {
-  JsonMembers members = reply_head(id, true);
+std::string render_stats(const Json& id, const ServiceStats& stats,
+                         const std::string& trace_id) {
+  JsonMembers members = reply_head(id, true, trace_id);
   members.emplace_back("kind", Json("stats"));
   members.emplace_back("requests",
                        Json(static_cast<double>(stats.requests)));
@@ -243,13 +294,30 @@ std::string render_stats(const Json& id, const ServiceStats& stats) {
     kind_counts.emplace_back(kind, Json(static_cast<double>(count)));
   }
   members.emplace_back("kinds", Json::object(std::move(kind_counts)));
+  // Worst-N latency exemplars per kind: each entry names a trace id a
+  // `trace-dump` (or the trace sink) can resolve into a full span tree.
+  JsonMembers exemplar_members;
+  for (const auto& [kind, worst] : exemplars().snapshot()) {
+    std::vector<Json> items;
+    items.reserve(worst.size());
+    for (const Exemplar& exemplar : worst) {
+      JsonMembers fields;
+      fields.emplace_back("seconds", Json(exemplar.seconds));
+      fields.emplace_back(
+          "trace_id", Json(obs::format_trace_id(exemplar.trace_id)));
+      items.emplace_back(Json::object(std::move(fields)));
+    }
+    exemplar_members.emplace_back(kind, Json::array(std::move(items)));
+  }
+  members.emplace_back("exemplars",
+                       Json::object(std::move(exemplar_members)));
   return finish_reply(std::move(members));
 }
 
 /// `metrics` reply: the Prometheus text exposition rides in `body`, same
 /// splice technique as render_result (the scrape can be tens of KB).
-std::string render_metrics(const Json& id) {
-  JsonMembers members = reply_head(id, true);
+std::string render_metrics(const Json& id, const std::string& trace_id) {
+  JsonMembers members = reply_head(id, true, trace_id);
   members.emplace_back("kind", Json("metrics"));
   std::string reply = Json::object(std::move(members)).dump();
   reply.pop_back();  // reopen the object: drop '}'
@@ -257,6 +325,34 @@ std::string render_metrics(const Json& id) {
   reply += json_quote(obs::prometheus_text());
   reply += "}\n";
   return reply;
+}
+
+/// `trace-dump` reply: the flight recorder's recent spans as NDJSON in
+/// `body` (same splice; a full ring is ~1 MB of lines).
+std::string render_trace_dump(const Json& id, const std::string& trace_id) {
+  JsonMembers members = reply_head(id, true, trace_id);
+  members.emplace_back("kind", Json("trace-dump"));
+  std::string reply = Json::object(std::move(members)).dump();
+  reply.pop_back();  // reopen the object: drop '}'
+  reply += ",\"body\":";
+  reply += json_quote(obs::flight_dump_ndjson());
+  reply += "}\n";
+  return reply;
+}
+
+/// Parses the optional client `trace_id` field: 1-16 hex digits, nonzero.
+std::uint64_t trace_id_from(const Json& object) {
+  const Json* field = object.find("trace_id");
+  if (field == nullptr) return 0;
+  const std::uint64_t value =
+      field->type() == Json::Type::kString
+          ? obs::parse_trace_id(field->as_string())
+          : 0;
+  if (value == 0) {
+    throw ProtocolError(
+        "field \"trace_id\" must be a string of 1-16 hex digits (nonzero)");
+  }
+  return value;
 }
 
 /// Parses an already-decoded request object.
@@ -269,8 +365,10 @@ Request parse_request_object(const Json& object) {
   const Json* kind = object.find("kind");
   if (kind == nullptr) throw ProtocolError("missing \"kind\"");
   request.kind = kind->as_string();
+  request.trace_id = trace_id_from(object);
   if (request.kind == "ping" || request.kind == "stats" ||
-      request.kind == "metrics" || request.kind == "shutdown") {
+      request.kind == "metrics" || request.kind == "trace-dump" ||
+      request.kind == "shutdown") {
     request.admin = true;
     FieldReader fields(object);
     fields.finish();  // admin requests take no options
@@ -287,8 +385,9 @@ Request parse_request(const std::string& line) {
 }
 
 std::string render_result(const Json& id, const std::string& kind,
-                          const QueryOutcome& outcome) {
-  JsonMembers members = reply_head(id, true);
+                          const QueryOutcome& outcome,
+                          const std::string& trace_id) {
+  JsonMembers members = reply_head(id, true, trace_id);
   members.emplace_back("kind", Json(kind));
   members.emplace_back("cached", Json(outcome.cached));
   members.emplace_back("source", Json(to_string(outcome.source)));
@@ -306,8 +405,9 @@ std::string render_result(const Json& id, const std::string& kind,
   return reply;
 }
 
-std::string render_error(const Json& id, const std::string& message) {
-  JsonMembers members = reply_head(id, false);
+std::string render_error(const Json& id, const std::string& message,
+                         const std::string& trace_id) {
+  JsonMembers members = reply_head(id, false, trace_id);
   members.emplace_back("error", Json(message));
   return finish_reply(std::move(members));
 }
@@ -318,11 +418,16 @@ HandledLine handle_request(Service& service, const std::string& line) {
   Request request;
   // End-to-end latency (parse through render) per kind; requests that die
   // in parsing are attributed to "other". Observe-only: the sink fires on
-  // every return path below and never touches the reply.
+  // every return path below and never touches the reply. The exemplar
+  // entry records which trace id a slow request belonged to.
   std::string latency_kind = "other";
-  const support::ScopedTimer latency([&latency_kind](double seconds) {
-    if (obs::enabled()) request_latency(latency_kind).observe(seconds);
-  });
+  std::uint64_t exemplar_trace = 0;
+  const support::ScopedTimer latency(
+      [&latency_kind, &exemplar_trace](double seconds) {
+        if (!obs::enabled()) return;
+        request_latency(latency_kind).observe(seconds);
+        exemplars().record(latency_kind, seconds, exemplar_trace);
+      });
   try {
     const Json object = Json::parse(line);
     // Echo the id even when validation below rejects the request.
@@ -339,28 +444,47 @@ HandledLine handle_request(Service& service, const std::string& line) {
     handled.reply = render_error(id, e.what());
     return handled;
   }
+
+  // The request's root span: adopts the client's trace id when one was
+  // sent, otherwise mints a fresh trace (obs on). Everything the request
+  // triggers — service dispatch, engine chains, kernel sweeps — nests
+  // under it via the thread-local context and the pool propagation.
+  obs::Span span("serve.request", request.trace_id);
+  span.attr("kind", Json(request.kind));
+  exemplar_trace =
+      request.trace_id != 0 ? request.trace_id : span.trace_id();
+  // Replies echo only a *client-supplied* trace id: server-minted ids
+  // would make otherwise-identical replies differ run to run (they stay
+  // discoverable through `trace-dump` and the stats exemplars).
+  const std::string trace_echo =
+      request.trace_id != 0 ? obs::format_trace_id(request.trace_id) : "";
+
   try {
     if (request.admin) {
       service.note_admin(request.kind);
       if (request.kind == "stats") {
-        handled.reply = render_stats(id, service.stats());
+        handled.reply = render_stats(id, service.stats(), trace_echo);
         return handled;
       }
       if (request.kind == "metrics") {
-        handled.reply = render_metrics(id);
+        handled.reply = render_metrics(id, trace_echo);
+        return handled;
+      }
+      if (request.kind == "trace-dump") {
+        handled.reply = render_trace_dump(id, trace_echo);
         return handled;
       }
       handled.shutdown = request.kind == "shutdown";
-      JsonMembers members = reply_head(id, true);
+      JsonMembers members = reply_head(id, true, trace_echo);
       members.emplace_back("kind", Json(request.kind));
       handled.reply = finish_reply(std::move(members));
       return handled;
     }
     // execute() counts these requests and failures itself.
     const QueryOutcome outcome = service.execute(request.job);
-    handled.reply = render_result(id, request.kind, outcome);
+    handled.reply = render_result(id, request.kind, outcome, trace_echo);
   } catch (const std::exception& e) {
-    handled.reply = render_error(id, e.what());
+    handled.reply = render_error(id, e.what(), trace_echo);
   }
   return handled;
 }

@@ -11,17 +11,25 @@
 //
 // Analysis kinds — point, sweep, threshold, upper-bound, net-batch — are
 // dispatched through the serving core (LRU, single-flight, store, solve).
-// Admin kinds — ping, stats, metrics, shutdown — answer from the server
-// itself (`metrics` returns Prometheus text exposition in `body`).
-// Any failure (malformed JSON, unknown kind or field, out-of-range
-// parameters, executor error) produces {"ok":false,"error":...} on the
-// same line slot; the connection stays usable.
+// Admin kinds — ping, stats, metrics, trace-dump, shutdown — answer from
+// the server itself (`metrics` returns Prometheus text exposition in
+// `body`; `trace-dump` returns the flight recorder's recent spans as
+// NDJSON in `body`). Any request may carry a `trace_id` (1-16 hex
+// digits): the request's span tree adopts it and every reply echoes it
+// back, so a client can correlate its call with a later trace dump.
+// Requests without one get a server-minted trace id on their span tree
+// (not echoed — replies stay stable run to run; the id is discoverable
+// via `trace-dump` and exemplars). Any failure (malformed JSON, unknown kind
+// or field, out-of-range parameters, executor error) produces
+// {"ok":false,"error":...} on the same line slot; the connection stays
+// usable.
 //
 // This module is transport-free: handle_line maps a request line to a
 // response line given a Service, so tests exercise the full protocol
 // without sockets and the server stays a pure byte shuttle.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "engine/generic.hpp"
@@ -43,7 +51,11 @@ struct Request {
   Json id;
   std::string kind;
   engine::GenericJob job;  ///< Empty kind for admin requests.
-  bool admin = false;      ///< ping | stats | metrics | shutdown.
+  bool admin = false;  ///< ping | stats | metrics | trace-dump | shutdown.
+  /// Client-supplied trace id (0 = none); the request's root span adopts
+  /// it. NEVER part of the job identity — two requests with different
+  /// trace ids for the same query coalesce and cache identically.
+  std::uint64_t trace_id = 0;
 };
 
 /// Parses and validates one request line. Throws ProtocolError (or
@@ -52,9 +64,12 @@ struct Request {
 Request parse_request(const std::string& line);
 
 /// Response renderers; every returned string is one line ending in '\n'.
+/// `trace_id` (16 hex digits; empty = omit) is echoed into the reply.
 std::string render_result(const Json& id, const std::string& kind,
-                          const QueryOutcome& outcome);
-std::string render_error(const Json& id, const std::string& message);
+                          const QueryOutcome& outcome,
+                          const std::string& trace_id = "");
+std::string render_error(const Json& id, const std::string& message,
+                         const std::string& trace_id = "");
 
 /// The reply line plus the one side effect a request can carry. The
 /// transport must write `reply` to the client *before* acting on

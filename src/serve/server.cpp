@@ -12,6 +12,8 @@
 #include <unistd.h>
 
 #include "engine/kinds.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
 #include "serve/protocol.hpp"
 #include "serve/socket_io.hpp"
 #include "support/check.hpp"
@@ -56,6 +58,10 @@ Server::Server(ServerOptions options,
                     &bound_size) == 0) {
     port_ = ntohs(bound.sin_port);
   }
+  reaper_thread_ = std::thread([this] { reaper_loop(); });
+  obs::log_info("serve", "listening",
+                {{"host", Json(options_.host)},
+                 {"port", Json(static_cast<double>(port_))}});
 }
 
 Server::~Server() { stop(); }
@@ -74,6 +80,11 @@ void Server::start() {
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
 
+std::size_t Server::live_connections() {
+  const std::lock_guard<std::mutex> lock(connections_mutex_);
+  return connections_.size() + zombies_.size();
+}
+
 void Server::accept_loop() {
   while (!stopping_.load()) {
     sockaddr_in peer{};
@@ -86,9 +97,13 @@ void Server::accept_loop() {
       // descriptor-exhaustion burst (EMFILE/ENFILE — back off briefly so
       // in-flight connections can drain) are all recoverable.
       if (errno == EINTR || errno == ECONNABORTED || errno == EPROTO) {
+        obs::log_warn("serve", "accept failed (transient)",
+                      {{"errno", Json(std::strerror(errno))}});
         continue;
       }
       if (errno == EMFILE || errno == ENFILE) {
+        obs::log_warn("serve", "out of file descriptors; backing off",
+                      {{"errno", Json(std::strerror(errno))}});
         std::this_thread::sleep_for(std::chrono::milliseconds(20));
         continue;
       }
@@ -102,27 +117,92 @@ void Server::accept_loop() {
       ::close(fd);
       break;
     }
-    // Reap finished connections so a long-lived server does not
-    // accumulate one parked thread per past client.
-    for (auto it = connections_.begin(); it != connections_.end();) {
-      if ((*it)->closed.load()) {
-        if ((*it)->thread.joinable()) (*it)->thread.join();
-        it = connections_.erase(it);
-      } else {
-        ++it;
-      }
-    }
     auto connection = std::make_unique<Connection>();
     connection->fd = fd;
     Connection* raw = connection.get();
     connections_.push_back(std::move(connection));
     raw->thread = std::thread([this, raw] { handle_connection(raw); });
+    obs::log_debug("serve", "connection accepted",
+                   {{"fd", Json(static_cast<double>(fd))}});
   }
 }
 
 void Server::close_connection(Connection* connection) {
   const std::lock_guard<std::mutex> lock(connections_mutex_);
   if (!connection->closed.exchange(true)) ::close(connection->fd);
+}
+
+void Server::retire_connection(Connection* connection) {
+  // Runs on the connection's own thread, as its final act: hand the
+  // Connection (which owns this very std::thread) to the reaper, which
+  // joins it promptly. A thread cannot join itself — the hand-off is
+  // what makes eager reaping possible.
+  const std::lock_guard<std::mutex> lock(connections_mutex_);
+  for (auto it = connections_.begin(); it != connections_.end(); ++it) {
+    if (it->get() == connection) {
+      zombies_.push_back(std::move(*it));
+      connections_.erase(it);
+      break;
+    }
+  }
+  // stop() may already have moved it out of connections_; either way the
+  // reaper (or stop) owns the join from here.
+  reap_cv_.notify_all();
+}
+
+void Server::reaper_loop() {
+  std::unique_lock<std::mutex> lock(connections_mutex_);
+  for (;;) {
+    reap_cv_.wait(lock, [this] { return reaper_stop_ || !zombies_.empty(); });
+    while (!zombies_.empty()) {
+      std::unique_ptr<Connection> zombie = std::move(zombies_.back());
+      zombies_.pop_back();
+      lock.unlock();
+      if (zombie->thread.joinable()) zombie->thread.join();
+      obs::log_debug("serve", "connection closed",
+                     {{"fd", Json(static_cast<double>(zombie->fd))}});
+      lock.lock();
+    }
+    reap_cv_.notify_all();  // wake a stop() waiting for the drain
+    if (reaper_stop_) return;
+  }
+}
+
+void Server::handle_http(int fd, const std::string& request_line) {
+  // "GET /path HTTP/1.x" — the path is the second token.
+  const std::size_t path_begin = request_line.find(' ');
+  std::size_t path_end = request_line.find(' ', path_begin + 1);
+  if (path_end == std::string::npos) path_end = request_line.size();
+  const std::string path =
+      request_line.substr(path_begin + 1, path_end - path_begin - 1);
+
+  std::string status = "200 OK";
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+  if (path == "/metrics") {
+    // The content type Prometheus' text parser expects.
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
+    body = obs::prometheus_text();
+  } else if (path == "/healthz") {
+    body = "ok\n";
+  } else {
+    status = "404 Not Found";
+    body = "not found\n";
+  }
+  std::string response = "HTTP/1.0 " + status +
+                         "\r\nContent-Type: " + content_type +
+                         "\r\nContent-Length: " +
+                         std::to_string(body.size()) +
+                         "\r\nConnection: close\r\n\r\n";
+  response += body;
+  send_all(fd, response);
+  // Half-close, then drain whatever headers the client is still sending:
+  // closing with unread bytes pending could RST the response away before
+  // the scraper reads it.
+  ::shutdown(fd, SHUT_WR);
+  char drain[1024];
+  while (::recv(fd, drain, sizeof(drain), 0) > 0) {
+  }
 }
 
 void Server::handle_connection(Connection* connection) {
@@ -134,6 +214,7 @@ void Server::handle_connection(Connection* connection) {
   std::string buffer;
   char chunk[4096];
   bool open = true;
+  bool first_line = true;
   while (open && !stopping_.load()) {
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n <= 0) {
@@ -143,6 +224,8 @@ void Server::handle_connection(Connection* connection) {
     buffer.append(chunk, static_cast<std::size_t>(n));
     if (buffer.size() > kMaxLineBytes &&
         buffer.find('\n') == std::string::npos) {
+      obs::log_warn("serve", "request line exceeds 1 MiB; closing",
+                    {{"fd", Json(static_cast<double>(fd))}});
       send_all(fd, render_error(Json(), "request line exceeds 1 MiB"));
       break;
     }
@@ -154,6 +237,16 @@ void Server::handle_connection(Connection* connection) {
       start = newline + 1;
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
+      if (first_line) {
+        first_line = false;
+        // HTTP sniffing: a GET request line on the NDJSON port answers
+        // the scrape endpoints and closes (Connection: close semantics).
+        if (line.rfind("GET ", 0) == 0) {
+          handle_http(fd, line);
+          open = false;
+          break;
+        }
+      }
       const HandledLine handled = handle_request(*service_, line);
       // Reply first: acting on shutdown before the bytes are out would
       // race teardown against the client's read of this very response.
@@ -166,9 +259,11 @@ void Server::handle_connection(Connection* connection) {
     buffer.erase(0, start);
   }
   close_connection(connection);
+  retire_connection(connection);
 }
 
 void Server::stop() {
+  const bool was_live = listen_fd_ >= 0;
   request_stop();
   if (accept_thread_.joinable()) accept_thread_.join();
 
@@ -179,28 +274,27 @@ void Server::stop() {
   // mutex, so a shut-down fd is always still theirs — never a recycled
   // descriptor belonging to someone else in this process.
   {
-    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    std::unique_lock<std::mutex> lock(connections_mutex_);
     for (const auto& connection : connections_) {
       if (!connection->closed.load()) {
         ::shutdown(connection->fd, SHUT_RD);
       }
     }
+    // Every connection thread now finishes and retires itself; the
+    // reaper joins each one. Wait for the drain, then retire the reaper.
+    reap_cv_.wait(lock, [this] {
+      return connections_.empty() && zombies_.empty();
+    });
+    reaper_stop_ = true;
   }
-  for (;;) {
-    std::unique_ptr<Connection> connection;
-    {
-      const std::lock_guard<std::mutex> lock(connections_mutex_);
-      if (connections_.empty()) break;
-      connection = std::move(connections_.back());
-      connections_.pop_back();
-    }
-    if (connection->thread.joinable()) connection->thread.join();
-    if (!connection->closed.exchange(true)) ::close(connection->fd);
-  }
+  reap_cv_.notify_all();
+  if (reaper_thread_.joinable()) reaper_thread_.join();
+
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
+  if (was_live) obs::log_info("serve", "stopped");
 }
 
 }  // namespace serve

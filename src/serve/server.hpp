@@ -5,7 +5,15 @@
 // requests and writing the protocol's response lines. Concurrency control
 // lives in the Service (its thread pool bounds simultaneous solves and
 // single-flight coalesces duplicates), so connection threads are cheap —
-// they mostly block on a flight or on the socket.
+// they mostly block on a flight or on the socket. Finished connections
+// retire themselves to a reaper thread that joins them eagerly, so an
+// idle server holds no parked threads.
+//
+// The same port speaks a sliver of HTTP for operability: a connection
+// whose first line is an HTTP GET is answered once and closed —
+// `GET /metrics` returns the Prometheus text exposition, `GET /healthz`
+// returns "ok" — so a real Prometheus (or curl) can scrape the server
+// without an NDJSON shim.
 //
 // The server binds loopback by default: the protocol is unauthenticated,
 // so exposure beyond the host must be an explicit operator choice
@@ -14,6 +22,8 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
+#include <cstddef>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -61,6 +71,11 @@ class Server {
   /// the accept loop exits; the owner then runs stop() normally.
   void request_stop();
 
+  /// Connections whose thread has not been reaped yet (live plus a
+  /// transient window of finished-but-unjoined ones). An idle server
+  /// converges to 0 — pinned by tests.
+  std::size_t live_connections();
+
  private:
   /// One live client. The fd is closed exactly once, always under
   /// connections_mutex_ (see stop() for why that discipline matters).
@@ -73,6 +88,12 @@ class Server {
   void accept_loop();
   void handle_connection(Connection* connection);
   void close_connection(Connection* connection);
+  /// Moves the (finished) connection from connections_ to the reaper's
+  /// zombie list. Called by the connection's own thread as its last act.
+  void retire_connection(Connection* connection);
+  void reaper_loop();
+  /// Answers one HTTP GET (/metrics, /healthz) and drains the socket.
+  void handle_http(int fd, const std::string& request_line);
 
   ServerOptions options_;
   std::unique_ptr<Service> service_;
@@ -82,7 +103,11 @@ class Server {
   std::thread accept_thread_;
 
   std::mutex connections_mutex_;
-  std::vector<std::unique_ptr<Connection>> connections_;
+  std::condition_variable reap_cv_;  ///< Zombies arrived / counts changed.
+  std::vector<std::unique_ptr<Connection>> connections_;  ///< Live.
+  std::vector<std::unique_ptr<Connection>> zombies_;  ///< Finished, unjoined.
+  bool reaper_stop_ = false;  ///< Under connections_mutex_.
+  std::thread reaper_thread_;
 };
 
 }  // namespace serve

@@ -3,7 +3,9 @@
 #include <utility>
 
 #include "engine/kinds.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 #include "support/timer.hpp"
 
@@ -87,7 +89,8 @@ Service::Service(ServiceOptions options,
   // admin kinds. After construction the map is structurally immutable, so
   // note_kind() reads it without a lock.
   for (const std::string& kind : registry_.kinds()) kind_counts_[kind];
-  for (const char* kind : {"ping", "stats", "metrics", "shutdown"}) {
+  for (const char* kind :
+       {"ping", "stats", "metrics", "trace-dump", "shutdown"}) {
     kind_counts_[kind];
   }
 }
@@ -129,6 +132,11 @@ void Service::lru_insert(const std::string& key, const PayloadPtr& payload,
 
 QueryOutcome Service::execute(const engine::GenericJob& job) {
   const InflightGuard inflight;
+  // The service-layer span of the request tree. It is current while the
+  // leader's pool job is submitted below, so the engine/kernel spans the
+  // job opens nest under it (ThreadPool::submit captures the context).
+  obs::Span span("serve.execute");
+  span.attr("kind", serve::Json(job.kind));
   requests_.fetch_add(1, std::memory_order_relaxed);
   serve_metrics().requests.add(1);
   note_kind(job.kind);
@@ -200,6 +208,9 @@ QueryOutcome Service::execute(const engine::GenericJob& job) {
       if (failed) {
         errors_.fetch_add(1, std::memory_order_relaxed);
         serve_metrics().errors.add(1);
+        obs::log_error("serve", "job failed",
+                       {{"kind", serve::Json(job.kind)},
+                        {"error", serve::Json(error)}});
       } else if (source == Source::kStore) {
         store_hits_.fetch_add(1, std::memory_order_relaxed);
         serve_metrics().store_hits.add(1);

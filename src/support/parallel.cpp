@@ -4,6 +4,7 @@
 #include <exception>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 
 namespace support {
@@ -33,10 +34,18 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> job) {
   SM_REQUIRE(job != nullptr, "ThreadPool::submit requires a callable job");
+  // Capture the submitting thread's trace context so spans opened inside
+  // the job land in the same request tree (serve request → engine chain →
+  // kernel sweep stays one trace across the pool hop). Observe-only: the
+  // wrapper changes nothing about when or where the job runs.
+  const obs::TraceContext context = obs::current_context();
   {
     std::unique_lock<std::mutex> lock(mutex_);
     SM_REQUIRE(!stopping_, "ThreadPool::submit after shutdown began");
-    queue_.push_back(std::move(job));
+    queue_.push_back([context, job = std::move(job)] {
+      const obs::ContextScope scope(context);
+      job();
+    });
   }
   work_available_.notify_one();
 }

@@ -31,7 +31,10 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a job. Jobs must be noexcept in effect: an escaping exception
-  /// terminates the process (std::terminate from the worker loop).
+  /// terminates the process (std::terminate from the worker loop). The
+  /// submitting thread's obs::TraceContext is captured here and restored
+  /// around the job on the worker, so traced work keeps its request tree
+  /// across the pool hop.
   void submit(std::function<void()> job);
 
   /// Blocks until the queue is empty and all workers are idle.

@@ -6,6 +6,7 @@
 // the invariance cases compare a no-op against a no-op.)
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -91,7 +92,10 @@ TEST(ObsHistogram, GoldenBucketsAndQuantiles) {
   EXPECT_DOUBLE_EQ(snap.quantile(0.25), 1.0);   // rank 1, top of (0,1]
   EXPECT_DOUBLE_EQ(snap.quantile(0.5), 2.0);    // rank 2, top of (1,2]
   EXPECT_DOUBLE_EQ(snap.quantile(1.0), 4.0);    // rank 4, +Inf clamps
-  EXPECT_DOUBLE_EQ(obs::HistogramSnapshot{}.quantile(0.5), 0.0);
+  // An empty histogram has no answerable quantile: NaN, so callers can
+  // distinguish "no data" from a real 0-valued observation.
+  EXPECT_TRUE(std::isnan(obs::HistogramSnapshot{}.quantile(0.5)));
+  EXPECT_TRUE(std::isnan(obs::HistogramSnapshot{}.quantile(1.0)));
 }
 
 TEST(ObsHistogram, SortsAndDeduplicatesBounds) {

@@ -16,7 +16,13 @@
 #include <thread>
 #include <vector>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include "analysis/render.hpp"
+#include "obs/metrics.hpp"
 #include "analysis/sweep.hpp"
 #include "analysis/threshold.hpp"
 #include "analysis/upper_bound.hpp"
@@ -557,6 +563,137 @@ TEST(ServeLru, EvictsPastByteBudgetAndFallsBackToStore) {
   EXPECT_EQ(again.source, serve::Source::kStore);
   EXPECT_EQ(*again.payload, std::string(1024, 'a'));
   EXPECT_EQ(executions.load(), 3);
+}
+
+// ----------------------------------------------- trace ids and exemplars
+
+TEST(ServeProtocol, TraceIdIsEchoedAndValidated) {
+  serve::Service service(serve::ServiceOptions{});
+
+  // Admin kinds accept a trace_id (it is not an option) and echo it in
+  // canonical 16-digit form.
+  serve::Json reply =
+      reply_of(service, "{\"kind\":\"ping\",\"trace_id\":\"deadbeef\"}");
+  EXPECT_TRUE(reply.find("ok")->as_bool());
+#if SELFISH_OBS_ENABLED
+  ASSERT_NE(reply.find("trace_id"), nullptr);
+  EXPECT_EQ(reply.find("trace_id")->as_string(), "00000000deadbeef");
+#endif
+
+  // A request without one gets no trace_id member: server-minted span ids
+  // must never leak into replies (byte-stable responses run to run).
+  reply = reply_of(service, "{\"kind\":\"ping\"}");
+  EXPECT_TRUE(reply.find("ok")->as_bool());
+  EXPECT_EQ(reply.find("trace_id"), nullptr);
+
+  // Malformed ids are protocol errors, not silently ignored.
+  for (const char* bad :
+       {"\"xyz\"", "\"0\"", "\"\"", "\"00000000deadbeef0\"", "7"}) {
+    reply = reply_of(service, std::string("{\"kind\":\"ping\",\"trace_id\":") +
+                                  bad + "}");
+    EXPECT_FALSE(reply.find("ok")->as_bool()) << bad;
+    EXPECT_NE(reply.find("error")->as_string().find("trace_id"),
+              std::string::npos)
+        << bad;
+  }
+}
+
+#if SELFISH_OBS_ENABLED
+TEST(ServeProtocol, StatsCarriesWorstLatencyExemplars) {
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(true);
+  serve::Service service(serve::ServiceOptions{});
+  reply_of(service, std::string("{\"kind\":\"threshold\",") + kTinyModel +
+                        ",\"trace_id\":\"beef\"}");
+  const serve::Json stats = reply_of(service, "{\"kind\":\"stats\"}");
+  ASSERT_TRUE(stats.find("ok")->as_bool());
+  const serve::Json* exemplars = stats.find("exemplars");
+  ASSERT_NE(exemplars, nullptr);
+  const serve::Json* rows = exemplars->find("threshold");
+  ASSERT_NE(rows, nullptr) << "no exemplar rows for kind threshold";
+  ASSERT_FALSE(rows->as_array().empty());
+  // The exemplar table is process-global, so rows from earlier tests in
+  // this binary may outrank ours — find our trace id among the worst-N.
+  bool found = false;
+  for (const serve::Json& row : rows->as_array()) {
+    EXPECT_GE(row.find("seconds")->as_number(), 0.0);
+    found |= row.find("trace_id")->as_string() == "000000000000beef";
+  }
+  EXPECT_TRUE(found) << "client trace id missing from exemplars";
+  obs::set_enabled(was_enabled);
+}
+#endif
+
+// ------------------------------------------------- HTTP scrape endpoints
+
+/// One-shot HTTP GET against the NDJSON port; returns the raw response.
+std::string http_get(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &address.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                      sizeof(address)),
+            0);
+  const std::string request =
+      "GET " + path + " HTTP/1.0\r\nHost: localhost\r\n\r\n";
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(ServeHttp, AnswersMetricsAndHealthzOnTheNdjsonPort) {
+  with_server(serve::ServiceOptions{}, [](serve::Client& client,
+                                          serve::Server& server) {
+    // The NDJSON protocol still works on other connections throughout.
+    ASSERT_TRUE(client.request("{\"kind\":\"ping\"}").ok);
+
+    const std::string health = http_get(server.port(), "/healthz");
+    EXPECT_NE(health.find("HTTP/1.0 200 OK"), std::string::npos) << health;
+    EXPECT_NE(health.find("\r\n\r\nok\n"), std::string::npos) << health;
+
+    const std::string metrics = http_get(server.port(), "/metrics");
+    EXPECT_NE(metrics.find("HTTP/1.0 200 OK"), std::string::npos);
+    EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+
+    const std::string missing = http_get(server.port(), "/nope");
+    EXPECT_NE(missing.find("HTTP/1.0 404 Not Found"), std::string::npos);
+
+    ASSERT_TRUE(client.request("{\"kind\":\"ping\"}").ok);
+  });
+}
+
+TEST(ServeHttp, FinishedConnectionsAreReapedEagerly) {
+  with_server(serve::ServiceOptions{}, [](serve::Client& client,
+                                          serve::Server& server) {
+    ASSERT_TRUE(client.request("{\"kind\":\"ping\"}").ok);
+    {
+      serve::Client extra("127.0.0.1", server.port());
+      ASSERT_TRUE(extra.request("{\"kind\":\"ping\"}").ok);
+      http_get(server.port(), "/healthz");  // HTTP connections reap too
+    }
+    // Both short-lived connections must be joined promptly — without a
+    // new connection arriving to trigger any lazy cleanup. Only the
+    // outer client's connection may remain.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (server.live_connections() > 1 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_EQ(server.live_connections(), 1u);
+    ASSERT_TRUE(client.request("{\"kind\":\"ping\"}").ok);
+  });
 }
 
 }  // namespace

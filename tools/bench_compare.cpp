@@ -1,0 +1,157 @@
+// bench_compare — regression gate over google-benchmark JSON output.
+//
+// Compares a fresh bench_solvers run (--candidate) against the committed
+// baseline (--baseline, BENCH_solvers.json by default), row by row, and
+// exits nonzero when any row regressed beyond the tolerances:
+//
+//   * real_time may grow by at most --time-tolerance (relative, e.g. 0.5
+//     allows a 50% slowdown — CI machines differ from the baseline host,
+//     so the default gate is deliberately generous; tighten it for
+//     same-machine A/B comparisons),
+//   * achieved_gbps (the kernel-sweep bandwidth counter) may shrink by at
+//     most --gbps-tolerance,
+//   * every baseline row must exist in the candidate — a silently dropped
+//     benchmark is itself a regression.
+//
+// Candidate-only rows are reported but do not fail the gate (new benches
+// land before their baseline refresh). Only run_type == "iteration" rows
+// participate; aggregate rows (mean/median/stddev) are skipped on both
+// sides.
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "serve/json.hpp"
+#include "support/options.hpp"
+
+namespace {
+
+struct Row {
+  double real_time = 0.0;
+  std::string time_unit;
+  double achieved_gbps = 0.0;  ///< 0 = counter absent.
+};
+
+std::map<std::string, Row> load_rows(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw support::InvalidArgument("cannot open " + path);
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  const serve::Json root = serve::Json::parse(text.str());
+  const serve::Json* benchmarks = root.find("benchmarks");
+  if (benchmarks == nullptr) {
+    throw support::InvalidArgument(path + " has no \"benchmarks\" array");
+  }
+  std::map<std::string, Row> rows;
+  for (const serve::Json& entry : benchmarks->as_array()) {
+    const serve::Json* run_type = entry.find("run_type");
+    if (run_type != nullptr && run_type->as_string() != "iteration") {
+      continue;  // skip mean/median/stddev aggregates
+    }
+    Row row;
+    row.real_time = entry.find("real_time")->as_number();
+    if (const serve::Json* unit = entry.find("time_unit")) {
+      row.time_unit = unit->as_string();
+    }
+    if (const serve::Json* gbps = entry.find("achieved_gbps")) {
+      row.achieved_gbps = gbps->as_number();
+    }
+    rows.emplace(entry.find("name")->as_string(), row);
+  }
+  return rows;
+}
+
+/// Relative change of `candidate` versus `baseline` (positive = larger).
+double relative_delta(double baseline, double candidate) {
+  if (baseline == 0.0) return 0.0;
+  return (candidate - baseline) / baseline;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::Options options;
+  options.declare("help", "false", "show this tool's options");
+  options.declare("baseline", "BENCH_solvers.json",
+                  "committed google-benchmark JSON to compare against");
+  options.declare("candidate", "",
+                  "fresh google-benchmark JSON from this build (required)");
+  options.declare("time-tolerance", "0.5",
+                  "max allowed relative real_time growth per row");
+  options.declare("gbps-tolerance", "0.5",
+                  "max allowed relative achieved_gbps shrinkage per row");
+  try {
+    options.parse(argc, argv);
+    if (options.get_bool("help")) {
+      std::fputs(options.usage("bench_compare").c_str(), stderr);
+      return 0;
+    }
+    const std::string candidate_path = options.get_string("candidate");
+    if (candidate_path.empty()) {
+      std::fputs("bench_compare: --candidate is required\n", stderr);
+      return 2;
+    }
+    const double time_tolerance = options.get_double("time-tolerance");
+    const double gbps_tolerance = options.get_double("gbps-tolerance");
+
+    const auto baseline = load_rows(options.get_string("baseline"));
+    const auto candidate = load_rows(candidate_path);
+
+    int regressions = 0;
+    for (const auto& [name, base] : baseline) {
+      const auto found = candidate.find(name);
+      if (found == candidate.end()) {
+        std::printf("MISSING  %-55s (row absent from candidate)\n",
+                    name.c_str());
+        ++regressions;
+        continue;
+      }
+      const Row& cand = found->second;
+      const double time_delta = relative_delta(base.real_time, cand.real_time);
+      const double gbps_delta =
+          base.achieved_gbps > 0.0 && cand.achieved_gbps > 0.0
+              ? relative_delta(base.achieved_gbps, cand.achieved_gbps)
+              : 0.0;
+      const bool time_bad =
+          std::isfinite(time_delta) && time_delta > time_tolerance;
+      const bool gbps_bad =
+          std::isfinite(gbps_delta) && -gbps_delta > gbps_tolerance;
+      const char* verdict = time_bad || gbps_bad ? "REGRESS" : "ok";
+      std::printf("%-8s %-55s %10.4f -> %10.4f %-2s (%+6.1f%%)",
+                  verdict, name.c_str(), base.real_time, cand.real_time,
+                  base.time_unit.c_str(), 100.0 * time_delta);
+      if (base.achieved_gbps > 0.0) {
+        std::printf("  gbps %7.2f -> %7.2f (%+6.1f%%)", base.achieved_gbps,
+                    cand.achieved_gbps, 100.0 * gbps_delta);
+      }
+      std::printf("\n");
+      if (time_bad || gbps_bad) ++regressions;
+    }
+    for (const auto& [name, row] : candidate) {
+      (void)row;
+      if (baseline.find(name) == baseline.end()) {
+        std::printf("NEW      %-55s (no baseline row; not gated)\n",
+                    name.c_str());
+      }
+    }
+
+    if (regressions > 0) {
+      std::printf("bench_compare: %d row(s) regressed beyond "
+                  "time>%g%% / gbps<-%g%%\n",
+                  regressions, 100.0 * time_tolerance,
+                  100.0 * gbps_tolerance);
+      return 1;
+    }
+    std::printf("bench_compare: all %zu baseline rows within tolerance\n",
+                baseline.size());
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "bench_compare: %s\n", error.what());
+    return 2;
+  }
+}

@@ -14,6 +14,8 @@
 // Every subcommand accepts --help. Options may also come from the
 // SELFISH_* environment (see support::Options).
 #include <atomic>
+#include <chrono>
+#include <thread>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -35,6 +37,8 @@
 #include "mdp/export.hpp"
 #include "net/batch.hpp"
 #include "net/scenario.hpp"
+#include "obs/flight.hpp"
+#include "obs/log.hpp"
 #include "obs/trace.hpp"
 #include "selfish/build.hpp"
 #include "selfish/cache.hpp"
@@ -50,19 +54,31 @@
 
 namespace {
 
-/// Every subcommand accepts --trace-out: when set, obs spans (solves,
-/// engine jobs, simulator runs, served requests) append NDJSON records to
-/// the file for the lifetime of the process. Observe-only — the command's
-/// stdout artifact is byte-identical with or without it.
+/// Every subcommand accepts the observability flags. --trace-out: obs
+/// spans (solves, engine jobs, simulator runs, served requests) append
+/// NDJSON records to the file for the lifetime of the process (the
+/// in-memory flight recorder runs regardless). --log-level / --log-out:
+/// structured NDJSON logging (stderr by default). All observe-only — the
+/// command's stdout artifact is byte-identical with or without them.
 void declare_trace_option(support::Options& options) {
   options.declare("trace-out", "",
                   "write obs trace spans (NDJSON, one per span) to this "
-                  "file; empty = tracing off");
+                  "file; empty = tracing off (the in-memory flight "
+                  "recorder stays on)");
+  options.declare("log-level", "info",
+                  "structured log threshold: off | error | warn | info | "
+                  "debug");
+  options.declare("log-out", "",
+                  "write structured NDJSON log lines to this file; "
+                  "empty = stderr");
 }
 
 void apply_trace_option(const support::Options& options) {
   const std::string path = options.get_string("trace-out");
   if (!path.empty()) obs::open_trace(path);
+  obs::set_log_level(obs::parse_log_level(options.get_string("log-level")));
+  const std::string log_path = options.get_string("log-out");
+  if (!log_path.empty()) obs::open_log(log_path);
 }
 
 void declare_model_options(support::Options& options) {
@@ -497,6 +513,13 @@ void handle_stop_signal(int) {
   if (server != nullptr) server->request_stop();
 }
 
+std::atomic<bool> g_flight_dump_requested{false};
+
+/// SIGUSR1: dump the flight recorder. The handler only sets a flag
+/// (async-signal-safe — the dump allocates); a watcher thread in
+/// cmd_serve performs the actual NDJSON write to stderr.
+void handle_dump_signal(int) { g_flight_dump_requested.store(true); }
+
 int cmd_serve(int argc, const char* const* argv) {
   support::Options options;
   options.declare("help", "false", "show this command's options");
@@ -535,6 +558,20 @@ int cmd_serve(int argc, const char* const* argv) {
   g_server.store(&server);
   std::signal(SIGINT, handle_stop_signal);
   std::signal(SIGTERM, handle_stop_signal);
+  std::signal(SIGUSR1, handle_dump_signal);
+  // SIGUSR1 watcher: polls the handler's flag and dumps the flight
+  // recorder to stderr (the handler itself must not allocate).
+  std::atomic<bool> watcher_stop{false};
+  std::thread dump_watcher([&watcher_stop] {
+    while (!watcher_stop.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      if (g_flight_dump_requested.exchange(false)) {
+        const std::string dump = obs::flight_dump_ndjson();
+        std::fwrite(dump.data(), 1, dump.size(), stderr);
+        std::fflush(stderr);
+      }
+    }
+  });
 
   // The one stdout line is the readiness handshake scripts wait for.
   std::printf("serving on %s:%d\n", server_options.host.c_str(),
@@ -547,7 +584,10 @@ int cmd_serve(int argc, const char* const* argv) {
   // reuse.
   std::signal(SIGINT, SIG_DFL);
   std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGUSR1, SIG_DFL);
   g_server.store(nullptr);
+  watcher_stop.store(true);
+  dump_watcher.join();
   server.stop();
 
   const serve::ServiceStats stats = server.service().stats();
@@ -589,10 +629,14 @@ int cmd_query(int argc, const char* const* argv) {
   options.declare("port", "7077", "server TCP port");
   options.declare("kind", "point",
                   "query kind: point | sweep | threshold | upper-bound | "
-                  "net-batch | ping | stats | metrics | shutdown "
+                  "net-batch | ping | stats | metrics | trace-dump | "
+                  "shutdown "
                   "(ignored when a positional JSON request is given)");
   options.declare("raw", "false",
                   "print the raw JSON response line instead of the body");
+  options.declare("trace-id", "",
+                  "1-16 hex digits attached to the request; the server "
+                  "tags its spans with it and echoes it in the reply");
   // Every analysis-kind option, typed. Only options the user explicitly
   // set travel in the request: the server applies the same defaults as
   // the direct CLI subcommands, so an empty query equals the subcommand's
@@ -648,6 +692,10 @@ int cmd_query(int argc, const char* const* argv) {
   if (request.empty()) {
     serve::JsonMembers members;
     members.emplace_back("kind", serve::Json(options.get_string("kind")));
+    if (options.was_set("trace-id")) {
+      members.emplace_back("trace_id",
+                           serve::Json(options.get_string("trace-id")));
+    }
     for (const Field& field : kFields) {
       if (!options.was_set(field.name)) continue;
       switch (field.type) {
@@ -685,9 +733,13 @@ int cmd_query(int argc, const char* const* argv) {
   // The body is the byte-exact artifact; metadata goes to stderr so the
   // stdout stream can be diffed against the direct subcommand.
   std::fputs(reply.body.c_str(), stdout);
-  std::fprintf(stderr, "query: kind=%s cached=%d source=%s seconds=%.3f\n",
+  std::fprintf(stderr, "query: kind=%s cached=%d source=%s seconds=%.3f",
                reply.kind.c_str(), reply.cached ? 1 : 0,
                reply.source.c_str(), reply.seconds);
+  if (!reply.trace_id.empty()) {
+    std::fprintf(stderr, " trace_id=%s", reply.trace_id.c_str());
+  }
+  std::fputc('\n', stderr);
   return 0;
 }
 
