@@ -10,13 +10,23 @@
 // acceptance target (ISSUE 5) is a >= 10x warm-vs-cold speedup on the
 // repeated workload.
 //
+// Two further phases exercise the event-driven transport itself: a soak
+// holds hundreds of concurrent pipelined connections against the bounded
+// worker pool (connections >> threads, zero dropped or mismatched
+// replies), and an overload burst against a small --max-inflight cap
+// verifies the server answers `busy` instead of queueing unboundedly.
+//
 //   bench_serve [--threads=0] [--bench-full]
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <cstdint>
+#include <deque>
 #include <filesystem>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -185,6 +195,122 @@ PassResult run_pass(int port, const Workload& workload, int clients,
   return result;
 }
 
+/// Soak: `connections` concurrent sessions, each pipelining `depth` warm
+/// requests, driven by a handful of threads (sessions are cheap; threads
+/// are not — the same asymmetry the reactor exploits server-side). Every
+/// reply must arrive, match its request by id, and carry a body byte-
+/// identical to the reference answer for that request.
+void run_soak(int port, const Workload& workload, int connections,
+              int depth) {
+  std::vector<std::string> expected;
+  {
+    serve::Client reference("127.0.0.1", port);
+    for (const std::string& request : workload.requests) {
+      const serve::Reply reply = reference.request(request);
+      SM_REQUIRE(reply.ok, "reference query failed: ", reply.error);
+      expected.push_back(reply.body);
+    }
+  }
+
+  const int drivers =
+      std::min(8, std::max(1, static_cast<int>(
+                                  std::thread::hardware_concurrency())));
+  std::atomic<int> replies{0};
+  std::atomic<int> mismatched{0};
+  const support::Timer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(drivers));
+  for (int driver = 0; driver < drivers; ++driver) {
+    threads.emplace_back([&, driver] {
+      // This driver's share of the sessions, all open at once.
+      std::deque<serve::Client> sessions;
+      std::vector<std::vector<std::pair<std::uint64_t, std::size_t>>> sent;
+      for (int c = driver; c < connections; c += drivers) {
+        sessions.emplace_back("127.0.0.1", port);
+        sent.emplace_back();
+        for (int r = 0; r < depth; ++r) {
+          const std::size_t which = static_cast<std::size_t>(c * depth + r) %
+                                    workload.requests.size();
+          sent.back().emplace_back(
+              sessions.back().send(workload.requests[which]), which);
+        }
+      }
+      for (std::size_t s = 0; s < sessions.size(); ++s) {
+        for (const auto& [id, which] : sent[s]) {
+          const serve::Reply reply = sessions[s].await(id);
+          SM_REQUIRE(reply.ok, "soak query failed: ", reply.error);
+          if (reply.body != expected[which]) mismatched.fetch_add(1);
+          replies.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const double seconds = timer.seconds();
+
+  const int total = connections * depth;
+  std::printf("soak  %d connections x %d pipelined  %d/%d replies  "
+              "%d mismatched  %8.3f s  %9.1f qps\n",
+              connections, depth, replies.load(), total, mismatched.load(),
+              seconds, static_cast<double>(total) / seconds);
+  SM_REQUIRE(replies.load() == total, "soak dropped replies: ",
+             total - replies.load());
+  SM_REQUIRE(mismatched.load() == 0,
+             "soak saw mismatched bodies: ", mismatched.load());
+}
+
+/// Overload: a burst of distinct cold queries pipelined past a small
+/// --max-inflight cap. The transport must answer the excess immediately
+/// with `busy` (code "busy") instead of queueing it — and every line
+/// still gets exactly one reply.
+void run_overload(int threads, bool full) {
+  const std::string cache_dir =
+      (fs::temp_directory_path() / "bench_serve_overload").string();
+  fs::remove_all(cache_dir);
+  serve::ServerOptions server_options;
+  server_options.port = 0;
+  server_options.max_inflight = 4;
+  server_options.service.cache_dir = cache_dir;
+  server_options.service.threads = threads;
+  serve::Server server(server_options);
+  server.start();
+
+  // Distinct cold points: no coalescing, each occupies an in-flight slot
+  // for a real solve's duration, so a 16-deep burst against cap 4 must
+  // overflow.
+  const int d = full ? 3 : 2;
+  std::vector<std::string> burst;
+  for (int i = 0; i < 16; ++i) {
+    burst.push_back("{\"kind\":\"point\",\"p\":" +
+                    std::to_string(0.31 + 0.01 * i) +
+                    ",\"d\":" + std::to_string(d) + ",\"f\":2}");
+  }
+
+  serve::Client client("127.0.0.1", server.port());
+  std::vector<std::uint64_t> ids;
+  for (const std::string& request : burst) ids.push_back(client.send(request));
+  int busy = 0;
+  int served = 0;
+  for (const std::uint64_t id : ids) {
+    const serve::Reply reply = client.await(id);
+    if (reply.ok) {
+      served += 1;
+    } else {
+      SM_REQUIRE(reply.code == "busy",
+                 "overload reply failed without busy code: ", reply.error);
+      busy += 1;
+    }
+  }
+  std::printf("overload  %zu-deep burst @ max-inflight %d: %d served, "
+              "%d busy refusals\n",
+              burst.size(), server_options.max_inflight, served, busy);
+  SM_REQUIRE(busy > 0, "overload burst produced no busy replies");
+  SM_REQUIRE(served + busy == static_cast<int>(burst.size()),
+             "overload dropped replies");
+  server.stop();
+  fs::remove_all(cache_dir);
+}
+
 /// Renders a quantile in milliseconds, or "-" when the histogram was
 /// empty (quantile() returns NaN then).
 std::string quantile_ms(const obs::HistogramSnapshot& hist, double q) {
@@ -244,6 +370,10 @@ int main(int argc, char** argv) {
 
   serve::ServerOptions server_options;
   server_options.port = 0;  // ephemeral
+  // Ample for the soak's pipelined burst; still bounded. The overload
+  // phase below exercises a deliberately tight cap.
+  server_options.max_inflight = 4096;
+  server_options.max_inflight_per_connection = 64;
   server_options.service.cache_dir = cache_dir;
   server_options.service.threads = bench::thread_count(options);
   serve::Server server(server_options);
@@ -276,6 +406,16 @@ int main(int argc, char** argv) {
               cold.seconds / warm.seconds,
               percentile(cold.latencies, 0.50) /
                   std::max(1e-9, percentile(warm.latencies, 0.50)));
+
+  // Transport soak: many warm sessions against the bounded worker pool
+  // (connection count an order of magnitude past the thread count).
+  const int soak_connections = full ? 512 : 256;
+  std::printf("\nsoak: %d connections on %d protocol workers\n",
+              soak_connections,
+              support::resolve_thread_count(server_options.workers));
+  run_soak(server.port(), workload, soak_connections, /*depth=*/4);
+
+  run_overload(bench::thread_count(options), full);
 
   bench::write_metrics_snapshot(options);
   server.stop();

@@ -1,7 +1,13 @@
 #include "serve/client.hpp"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cmath>
 #include <cstring>
+#include <random>
+#include <thread>
+#include <utility>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -9,62 +15,225 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "serve/protocol.hpp"
 #include "serve/socket_io.hpp"
 #include "support/check.hpp"
 
 namespace serve {
 
-Client::Client(const std::string& host, int port) {
-  SM_REQUIRE(port > 0 && port <= 65535, "port out of range: ", port);
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  SM_REQUIRE(fd_ >= 0, "socket(): ", std::strerror(errno));
+namespace {
 
-  sockaddr_in address{};
-  address.sin_family = AF_INET;
-  address.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1) {
-    ::close(fd_);
-    fd_ = -1;
-    throw support::InvalidArgument("invalid server address " + host);
-  }
-  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&address),
-                sizeof(address)) != 0) {
-    const std::string reason = std::strerror(errno);
-    ::close(fd_);
-    fd_ = -1;
-    throw support::Error("cannot connect to " + host + ":" +
-                         std::to_string(port) + ": " + reason);
-  }
-  const int one = 1;
-  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+/// Jittered exponential backoff: attempt 0 waits ~base, each further
+/// attempt doubles, capped, with the actual sleep drawn uniformly from
+/// [delay/2, delay] so a fleet of clients dropped together does not
+/// reconnect in lockstep.
+double backoff_seconds(const ClientOptions& options, int attempt) {
+  double delay = options.backoff_base_seconds * std::pow(2.0, attempt);
+  delay = std::min(delay, options.backoff_max_seconds);
+  static thread_local std::mt19937 rng{std::random_device{}()};
+  std::uniform_real_distribution<double> jitter(0.5, 1.0);
+  return delay * jitter(rng);
+}
+
+}  // namespace
+
+Client::Client(const std::string& host, int port, ClientOptions options)
+    : host_(host), port_(port), options_(std::move(options)) {
+  SM_REQUIRE(port_ > 0 && port_ <= 65535, "port out of range: ", port_);
+  connect_now();
 }
 
 Client::~Client() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-std::string Client::request_raw(const std::string& line) {
-  std::string out = line;
-  if (out.empty() || out.back() != '\n') out.push_back('\n');
-  if (!send_all(fd_, out)) {
-    throw support::Error("connection lost while sending request");
-  }
+void Client::connect_now() {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  SM_REQUIRE(fd_ >= 0, "socket(): ", std::strerror(errno));
 
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(static_cast<std::uint16_t>(port_));
+  if (::inet_pton(AF_INET, host_.c_str(), &address.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw support::InvalidArgument("invalid server address " + host_);
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&address),
+                sizeof(address)) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw support::Error("cannot connect to " + host_ + ":" +
+                         std::to_string(port_) + ": " + reason);
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void Client::reconnect_session() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();  // a partial reply line from the dead connection
+  if (!outstanding_.empty() && !options_.resend_on_reconnect) {
+    throw support::Error(
+        "connection lost with " + std::to_string(outstanding_.size()) +
+        " requests in flight (resend_on_reconnect disabled)");
+  }
+  std::string last_error = "no attempts allowed";
+  const int attempts = std::max(1, options_.max_retries);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          backoff_seconds(options_, attempt - 1)));
+    }
+    try {
+      connect_now();
+    } catch (const support::Error& error) {
+      last_error = error.what();
+      continue;
+    }
+    reconnects_ += 1;
+    // Replay everything still unanswered; replies keep matching by id.
+    for (const auto& [id, wire] : outstanding_) {
+      if (!send_all(fd_, wire)) {
+        ::close(fd_);
+        fd_ = -1;
+        last_error = "connection lost while re-sending request";
+        break;
+      }
+    }
+    if (fd_ >= 0) return;
+  }
+  throw support::Error("cannot reconnect to " + host_ + ":" +
+                       std::to_string(port_) + " after " +
+                       std::to_string(attempts) + " attempts: " + last_error);
+}
+
+void Client::send_bytes(const std::string& wire) {
+  const int attempts = std::max(1, options_.max_retries) + 1;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (fd_ < 0) reconnect_session();
+    if (send_all(fd_, wire)) return;
+    ::close(fd_);
+    fd_ = -1;
+  }
+  throw support::Error("connection lost while sending request");
+}
+
+bool Client::read_line(std::string& line) {
   char chunk[4096];
   for (;;) {
     const std::size_t newline = buffer_.find('\n');
     if (newline != std::string::npos) {
-      std::string reply = buffer_.substr(0, newline);
+      line = buffer_.substr(0, newline);
       buffer_.erase(0, newline + 1);
-      return reply;
+      return true;
     }
+    if (fd_ < 0) return false;
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
-      throw support::Error("connection lost while awaiting response");
+      return false;
     }
     buffer_.append(chunk, static_cast<std::size_t>(n));
   }
+}
+
+std::uint64_t Client::send(const std::string& line) {
+  Json request;
+  try {
+    request = Json::parse(line);
+  } catch (const JsonError& error) {
+    throw support::InvalidArgument(
+        std::string("session requests must be JSON objects (") +
+        error.what() + "); use request_raw for arbitrary lines");
+  }
+  if (!request.is_object()) {
+    throw support::InvalidArgument(
+        "session requests must be JSON objects; "
+        "use request_raw for arbitrary lines");
+  }
+
+  // Stamp the session envelope: protocol version and reply-matching id.
+  // A numeric id the caller chose is kept (and the counter skips past it
+  // so later stamps cannot collide); "v" is only added when absent.
+  JsonMembers members = request.as_object();
+  std::uint64_t id = 0;
+  bool has_id = false;
+  bool has_version = false;
+  for (const auto& [key, value] : members) {
+    if (key == "id") {
+      if (value.type() != Json::Type::kNumber) {
+        throw support::InvalidArgument(
+            "session request ids must be numeric (the session matches "
+            "replies by them); use request_raw for other id types");
+      }
+      id = static_cast<std::uint64_t>(value.as_number());
+      has_id = true;
+    }
+    if (key == "v") has_version = true;
+  }
+  if (has_id) {
+    next_id_ = std::max(next_id_, id + 1);
+  } else {
+    id = next_id_++;
+    members.emplace_back("id", Json(static_cast<std::int64_t>(id)));
+  }
+  if (!has_version) {
+    members.emplace_back(
+        "v", Json(static_cast<std::int64_t>(kProtocolVersion)));
+  }
+  std::string wire = Json::object(std::move(members)).dump();
+  wire.push_back('\n');
+
+  send_bytes(wire);
+  outstanding_[id] = std::move(wire);
+  return id;
+}
+
+Reply Client::await(std::uint64_t id) {
+  SM_REQUIRE(outstanding_.count(id) != 0 || ready_.count(id) != 0,
+             "await of an id never sent (or already awaited): ", id);
+  for (;;) {
+    const auto hit = ready_.find(id);
+    if (hit != ready_.end()) {
+      Reply reply = std::move(hit->second);
+      ready_.erase(hit);
+      return reply;
+    }
+    std::string line;
+    if (!read_line(line)) {
+      reconnect_session();  // replays outstanding_, or throws
+      continue;
+    }
+    Reply reply = decode_reply(line);
+    const Json* reply_id = reply.raw.find("id");
+    if (reply_id == nullptr || reply_id->type() != Json::Type::kNumber) {
+      continue;  // unmatchable (server replied to a line we never stamped)
+    }
+    const auto got = static_cast<std::uint64_t>(reply_id->as_number());
+    outstanding_.erase(got);
+    if (got == id) return reply;
+    ready_[got] = std::move(reply);
+  }
+}
+
+Reply Client::request(const std::string& line) { return await(send(line)); }
+
+Reply Client::ping() { return request("{\"kind\":\"ping\"}"); }
+
+std::string Client::request_raw(const std::string& line) {
+  std::string out = line;
+  if (out.empty() || out.back() != '\n') out.push_back('\n');
+  send_bytes(out);
+  std::string reply;
+  if (!read_line(reply)) {
+    throw support::Error("connection lost while awaiting response");
+  }
+  return reply;
 }
 
 Reply decode_reply(const std::string& line) {
@@ -80,6 +249,9 @@ Reply decode_reply(const std::string& line) {
   if (!reply.ok) {
     if (const Json* error = reply.raw.find("error")) {
       reply.error = error->as_string();
+    }
+    if (const Json* code = reply.raw.find("code")) {
+      reply.code = code->as_string();
     }
     return reply;
   }
@@ -99,10 +271,6 @@ Reply decode_reply(const std::string& line) {
     reply.seconds = seconds->as_number();
   }
   return reply;
-}
-
-Reply Client::request(const std::string& line) {
-  return decode_reply(request_raw(line));
 }
 
 }  // namespace serve

@@ -1,8 +1,19 @@
-// Blocking client for the analysis service's line protocol. Used by the
-// `selfish-mining query` subcommand, bench_serve's load generator, and
-// the end-to-end tests.
+// Session client for the analysis service's versioned line protocol
+// (protocol v1). Used by the `selfish-mining query` subcommand,
+// bench_serve's load generator, and the end-to-end tests.
+//
+// A Client is a session, not a call: it connects once, pipelines any
+// number of requests over the one connection (send() returns immediately
+// with the request's session id), and matches replies to requests by the
+// echoed `id` — the v1 contract under the event-driven server, which may
+// answer pipelined requests out of order. A dropped connection
+// reconnects transparently with capped retries and jittered exponential
+// backoff, re-sending still-unanswered requests (every analysis kind is
+// a pure query, so replay is safe).
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <string>
 
 #include "serve/json.hpp"
@@ -13,6 +24,7 @@ namespace serve {
 struct Reply {
   bool ok = false;
   std::string error;     ///< When !ok.
+  std::string code;      ///< Machine-readable failure class (busy, ...).
   std::string kind;      ///< When ok.
   std::string body;      ///< The rendered artifact (analysis kinds).
   std::string source;    ///< lru | store | solve | coalesced.
@@ -22,26 +34,76 @@ struct Reply {
   Json raw;  ///< The full response object (admin replies carry extras).
 };
 
+struct ClientOptions {
+  /// Reconnect attempts per drop before the operation throws.
+  int max_retries = 3;
+  /// First retry delay; doubles per attempt (with jitter) up to the max.
+  double backoff_base_seconds = 0.05;
+  double backoff_max_seconds = 1.0;
+  /// Re-send unanswered pipelined requests after a reconnect. Safe for
+  /// the analysis kinds (pure queries); disable when replaying a request
+  /// must not happen twice.
+  bool resend_on_reconnect = true;
+};
+
 class Client {
  public:
   /// Connects immediately; throws support::Error on failure.
-  Client(const std::string& host, int port);
+  Client(const std::string& host, int port, ClientOptions options = {});
   ~Client();
 
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  /// Sends one request line (newline appended if missing) and blocks for
-  /// the response line. Throws support::Error on a broken connection.
-  std::string request_raw(const std::string& line);
+  /// Pipelines one request (a JSON object line): stamps it with `"v":1`
+  /// and a session `id` (keeping a numeric id the caller already set) and
+  /// sends without waiting. Returns the id await() matches the reply by.
+  /// Throws support::InvalidArgument for non-object lines (those cannot
+  /// carry an id — use request_raw) and support::Error once the
+  /// connection is lost beyond the retry budget.
+  std::uint64_t send(const std::string& line);
 
-  /// request_raw + response decoding. A transport-level failure throws; a
-  /// protocol-level error comes back as ok=false.
+  /// Blocks until the reply with this id arrives (replies for other
+  /// pipelined ids are stashed for their own await). Throws
+  /// support::Error on a connection lost beyond the retry budget and on
+  /// ids never sent.
+  Reply await(std::uint64_t id);
+
+  /// send() + await(): one request, its reply. A transport-level failure
+  /// throws; a protocol-level error comes back as ok=false.
   Reply request(const std::string& line);
 
+  /// The capability handshake: asks the server for its protocol version,
+  /// supported kinds, and transport limits (reply.raw carries them).
+  Reply ping();
+
+  /// Sends one line verbatim — no id stamping, no version stamping — and
+  /// blocks for the next response line, whatever it is. This is the
+  /// byte-transparent escape hatch (`query --raw`): what goes out and
+  /// comes back is exactly what the peer sees. Do not interleave with
+  /// unanswered pipelined send()s — raw replies are matched by position.
+  std::string request_raw(const std::string& line);
+
+  /// Times the connection was re-established after a drop.
+  std::uint64_t reconnects() const { return reconnects_; }
+
  private:
+  void connect_now();  ///< One attempt; throws support::Error.
+  /// Capped, jitter-backoff reconnect loop; re-sends outstanding
+  /// requests when options allow (throws if they don't and any exist).
+  void reconnect_session();
+  void send_bytes(const std::string& wire);  ///< With reconnect retries.
+  bool read_line(std::string& line);  ///< False on EOF / connection loss.
+
+  std::string host_;
+  int port_ = 0;
+  ClientOptions options_;
   int fd_ = -1;
   std::string buffer_;  ///< Bytes past the last returned line.
+  std::uint64_t next_id_ = 1;
+  std::map<std::uint64_t, std::string> outstanding_;  ///< id -> wire line.
+  std::map<std::uint64_t, Reply> ready_;  ///< Arrived, not yet awaited.
+  std::uint64_t reconnects_ = 0;
 };
 
 /// Parses a response line into a Reply (shared with tests).

@@ -96,6 +96,7 @@ class FieldReader {
   explicit FieldReader(const Json& object) : object_(object) {
     consumed_.insert("id");
     consumed_.insert("kind");
+    consumed_.insert("v");         // parsed by parse_request_object
     consumed_.insert("trace_id");  // parsed by parse_request_object
   }
 
@@ -247,13 +248,17 @@ engine::GenericJob build_job(const std::string& kind, const Json& object) {
   return job;
 }
 
-/// Prefixes the echoed id when the client sent one, and the trace id
-/// when the request has one (client-supplied or server-minted).
+/// Prefixes the echoed id when the client sent one, the protocol version
+/// (every reply is versioned — clients gate on it before trusting the
+/// rest of the envelope), and the trace id when the request has one
+/// (client-supplied or server-minted).
 JsonMembers reply_head(const Json& id, bool ok,
                        const std::string& trace_id = "") {
   JsonMembers members;
   if (!id.is_null()) members.emplace_back("id", id);
   members.emplace_back("ok", Json(ok));
+  members.emplace_back(
+      "v", Json(static_cast<double>(kProtocolVersion)));
   if (!trace_id.empty()) members.emplace_back("trace_id", Json(trace_id));
   return members;
 }
@@ -262,8 +267,52 @@ std::string finish_reply(JsonMembers members) {
   return Json::object(std::move(members)).dump() + "\n";
 }
 
+/// The observability switch position, advertised by `ping` so a client
+/// knows whether metrics/trace admin kinds will carry real data.
+const char* obs_mode() {
+#if SELFISH_OBS_ENABLED
+  return obs::enabled() ? "on" : "runtime-off";
+#else
+  return "compiled-out";
+#endif
+}
+
+/// `ping` is the protocol v1 capability handshake: protocol version, the
+/// job kinds this server executes (from its registry) plus the admin
+/// kinds, the transport limits in force, and the obs mode.
+std::string render_ping(const Json& id, const Service& service,
+                        const Wire& wire, const std::string& trace_id) {
+  JsonMembers members = reply_head(id, true, trace_id);
+  members.emplace_back("kind", Json("ping"));
+  members.emplace_back(
+      "protocol", Json(static_cast<double>(kProtocolVersion)));
+  std::vector<Json> kinds;
+  for (const std::string& kind : service.registry().kinds()) {
+    kinds.emplace_back(kind);
+  }
+  for (const char* kind :
+       {"ping", "stats", "metrics", "trace-dump", "shutdown"}) {
+    kinds.emplace_back(std::string(kind));
+  }
+  members.emplace_back("kinds", Json::array(std::move(kinds)));
+  JsonMembers limits;
+  limits.emplace_back(
+      "max_line_bytes",
+      Json(static_cast<double>(wire.limits.max_line_bytes)));
+  limits.emplace_back("max_inflight",
+                      Json(static_cast<double>(wire.limits.max_inflight)));
+  limits.emplace_back(
+      "max_inflight_per_connection",
+      Json(static_cast<double>(wire.limits.max_inflight_per_connection)));
+  limits.emplace_back("idle_timeout_seconds",
+                      Json(wire.limits.idle_timeout_seconds));
+  members.emplace_back("limits", Json::object(std::move(limits)));
+  members.emplace_back("obs", Json(obs_mode()));
+  return finish_reply(std::move(members));
+}
+
 std::string render_stats(const Json& id, const ServiceStats& stats,
-                         const std::string& trace_id) {
+                         const Wire& wire, const std::string& trace_id) {
   JsonMembers members = reply_head(id, true, trace_id);
   members.emplace_back("kind", Json("stats"));
   members.emplace_back("requests",
@@ -311,6 +360,26 @@ std::string render_stats(const Json& id, const ServiceStats& stats,
   }
   members.emplace_back("exemplars",
                        Json::object(std::move(exemplar_members)));
+  // Transport counters (reactor-side: connection and backpressure view),
+  // present only when a transport is attached — the transport-free test
+  // path has nothing meaningful to report here.
+  if (wire.stats != nullptr) {
+    const auto count = [](const std::atomic<std::uint64_t>& value) {
+      return Json(
+          static_cast<double>(value.load(std::memory_order_relaxed)));
+    };
+    const auto level = [](const std::atomic<std::int64_t>& value) {
+      return Json(
+          static_cast<double>(value.load(std::memory_order_relaxed)));
+    };
+    JsonMembers transport;
+    transport.emplace_back("connections", level(wire.stats->connections));
+    transport.emplace_back("accepted", count(wire.stats->accepted));
+    transport.emplace_back("inflight", level(wire.stats->inflight));
+    transport.emplace_back("busy", count(wire.stats->busy));
+    transport.emplace_back("idle_closed", count(wire.stats->idle_closed));
+    members.emplace_back("transport", Json::object(std::move(transport)));
+  }
   return finish_reply(std::move(members));
 }
 
@@ -355,11 +424,30 @@ std::uint64_t trace_id_from(const Json& object) {
   return value;
 }
 
+/// Parses the protocol version field: absent means v1 (pre-versioned
+/// clients keep working), any other value than the supported revision is
+/// a named `unsupported_version` rejection so old servers fail loudly in
+/// front of newer clients instead of misinterpreting their requests.
+void check_version(const Json& object) {
+  const Json* field = object.find("v");
+  if (field == nullptr) return;  // implicit v1
+  const double raw = field->type() == Json::Type::kNumber
+                         ? field->as_number()
+                         : -1.0;
+  if (raw != static_cast<double>(kProtocolVersion)) {
+    throw ProtocolError(
+        "unsupported protocol version (this server speaks v" +
+            std::to_string(kProtocolVersion) + ")",
+        "unsupported_version");
+  }
+}
+
 /// Parses an already-decoded request object.
 Request parse_request_object(const Json& object) {
   if (!object.is_object()) {
     throw ProtocolError("request must be a JSON object");
   }
+  check_version(object);
   Request request;
   if (const Json* id = object.find("id")) request.id = *id;
   const Json* kind = object.find("kind");
@@ -384,6 +472,19 @@ Request parse_request(const std::string& line) {
   return parse_request_object(Json::parse(line));
 }
 
+FirstLine sniff_first_line(std::string_view buffer) {
+  // Decide as early as possible, but never on a proper prefix of "GET ":
+  // with a nonblocking transport a lone 'G' is routinely all that has
+  // arrived of "GET /metrics HTTP/1.1", and equally all that has arrived
+  // of nothing JSON (every request object starts with '{'), so the call
+  // answers kNeedMore until the prefix diverges or completes.
+  constexpr std::string_view kGet = "GET ";
+  const std::size_t have = std::min(buffer.size(), kGet.size());
+  if (buffer.compare(0, have, kGet, 0, have) != 0) return FirstLine::kNdjson;
+  return buffer.size() >= kGet.size() ? FirstLine::kHttpGet
+                                      : FirstLine::kNeedMore;
+}
+
 std::string render_result(const Json& id, const std::string& kind,
                           const QueryOutcome& outcome,
                           const std::string& trace_id) {
@@ -406,13 +507,32 @@ std::string render_result(const Json& id, const std::string& kind,
 }
 
 std::string render_error(const Json& id, const std::string& message,
-                         const std::string& trace_id) {
+                         const std::string& trace_id,
+                         const std::string& code) {
   JsonMembers members = reply_head(id, false, trace_id);
   members.emplace_back("error", Json(message));
+  if (!code.empty()) members.emplace_back("code", Json(code));
   return finish_reply(std::move(members));
 }
 
-HandledLine handle_request(Service& service, const std::string& line) {
+std::string render_busy(const std::string& line, const std::string& scope) {
+  // Best-effort id echo: the refused line has not been validated (the
+  // whole point of refusing early is to spend nothing on it), so the id
+  // is recovered only when the line happens to parse.
+  Json id;
+  try {
+    const Json object = Json::parse(line);
+    if (object.is_object()) {
+      if (const Json* sent = object.find("id")) id = *sent;
+    }
+  } catch (const std::exception&) {
+  }
+  return render_error(id, "busy: " + scope + " in-flight limit reached",
+                      "", "busy");
+}
+
+HandledLine handle_request(Service& service, const std::string& line,
+                           const Wire& wire) {
   HandledLine handled;
   Json id;
   Request request;
@@ -436,6 +556,10 @@ HandledLine handle_request(Service& service, const std::string& line) {
     }
     request = parse_request_object(object);
     latency_kind = request.kind;
+  } catch (const ProtocolError& e) {
+    service.note_rejected();
+    handled.reply = render_error(id, e.what(), "", e.code());
+    return handled;
   } catch (const std::exception& e) {
     // Rejected before reaching the service — count it there anyway, or
     // the operator-facing stats would show zero errors under a stream of
@@ -462,8 +586,12 @@ HandledLine handle_request(Service& service, const std::string& line) {
   try {
     if (request.admin) {
       service.note_admin(request.kind);
+      if (request.kind == "ping") {
+        handled.reply = render_ping(id, service, wire, trace_echo);
+        return handled;
+      }
       if (request.kind == "stats") {
-        handled.reply = render_stats(id, service.stats(), trace_echo);
+        handled.reply = render_stats(id, service.stats(), wire, trace_echo);
         return handled;
       }
       if (request.kind == "metrics") {

@@ -126,6 +126,9 @@ class Service {
   ServiceStats stats() const;
   const ServiceOptions& options() const { return options_; }
   const engine::ResultStore& store() const { return store_; }
+  /// The executor registry this service dispatches to (the `ping`
+  /// capability handshake advertises its kinds).
+  const engine::ExecutorRegistry& registry() const { return registry_; }
 
  private:
   /// Payloads live behind shared_ptr so cache hits hand out a reference

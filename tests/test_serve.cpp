@@ -10,8 +10,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -671,6 +675,410 @@ TEST(ServeHttp, AnswersMetricsAndHealthzOnTheNdjsonPort) {
 
     ASSERT_TRUE(client.request("{\"kind\":\"ping\"}").ok);
   });
+}
+
+// ------------------------------------- protocol v1: version + handshake
+
+TEST(ServeProtocol, SniffFirstLineToleratesPartialReads) {
+  using serve::FirstLine;
+  using serve::sniff_first_line;
+  // Prefixes of "GET " must stay undecided: a lone 'G' is the first
+  // nonblocking read of an HTTP scrape as often as not.
+  EXPECT_EQ(sniff_first_line(""), FirstLine::kNeedMore);
+  EXPECT_EQ(sniff_first_line("G"), FirstLine::kNeedMore);
+  EXPECT_EQ(sniff_first_line("GE"), FirstLine::kNeedMore);
+  EXPECT_EQ(sniff_first_line("GET"), FirstLine::kNeedMore);
+  EXPECT_EQ(sniff_first_line("GET "), FirstLine::kHttpGet);
+  EXPECT_EQ(sniff_first_line("GET /metrics HTTP/1.0\r\n"),
+            FirstLine::kHttpGet);
+  // Any divergence from the GET prefix settles NDJSON immediately.
+  EXPECT_EQ(sniff_first_line("{"), FirstLine::kNdjson);
+  EXPECT_EQ(sniff_first_line("{\"kind\":\"ping\"}"), FirstLine::kNdjson);
+  EXPECT_EQ(sniff_first_line("GOT "), FirstLine::kNdjson);
+  EXPECT_EQ(sniff_first_line("GETS"), FirstLine::kNdjson);
+  EXPECT_EQ(sniff_first_line(" GET "), FirstLine::kNdjson);
+}
+
+TEST(ServeProtocol, VersionedEnvelope) {
+  serve::Service service(serve::ServiceOptions{});
+  // Every reply carries the protocol version.
+  serve::Json pong = reply_of(service, "{\"kind\":\"ping\"}");
+  ASSERT_NE(pong.find("v"), nullptr);
+  EXPECT_EQ(pong.find("v")->as_number(), 1.0);
+  // An explicit v:1 is accepted; a missing v means v1 (above).
+  EXPECT_TRUE(
+      reply_of(service, "{\"v\":1,\"kind\":\"ping\"}").find("ok")->as_bool());
+  // Unknown versions are rejected with the named code, echoing the id.
+  const serve::Json wrong =
+      reply_of(service, "{\"v\":2,\"id\":7,\"kind\":\"ping\"}");
+  EXPECT_FALSE(wrong.find("ok")->as_bool());
+  ASSERT_NE(wrong.find("code"), nullptr);
+  EXPECT_EQ(wrong.find("code")->as_string(), "unsupported_version");
+  EXPECT_EQ(wrong.find("id")->as_number(), 7.0);
+  // A non-numeric v is not a version we speak either.
+  EXPECT_FALSE(reply_of(service, "{\"v\":\"1\",\"kind\":\"ping\"}")
+                   .find("ok")
+                   ->as_bool());
+}
+
+TEST(ServeProtocol, PingAdvertisesCapabilities) {
+  serve::Service service(serve::ServiceOptions{});
+  serve::Wire wire;
+  wire.limits.max_line_bytes = 4096;
+  wire.limits.max_inflight = 10;
+  wire.limits.max_inflight_per_connection = 3;
+  wire.limits.idle_timeout_seconds = 2.5;
+  const serve::Json pong = serve::Json::parse(
+      serve::handle_request(service, "{\"kind\":\"ping\"}", wire).reply);
+  EXPECT_EQ(pong.find("protocol")->as_number(), 1.0);
+  // The advertised kinds come from the executor registry plus the admin
+  // kinds — a client can discover the full dispatch surface.
+  bool has_point = false, has_ping = false;
+  for (const serve::Json& kind : pong.find("kinds")->as_array()) {
+    has_point |= kind.as_string() == "point";
+    has_ping |= kind.as_string() == "ping";
+  }
+  EXPECT_TRUE(has_point);
+  EXPECT_TRUE(has_ping);
+  const serve::Json* limits = pong.find("limits");
+  ASSERT_NE(limits, nullptr);
+  EXPECT_EQ(limits->find("max_line_bytes")->as_number(), 4096.0);
+  EXPECT_EQ(limits->find("max_inflight")->as_number(), 10.0);
+  EXPECT_EQ(limits->find("max_inflight_per_connection")->as_number(), 3.0);
+  EXPECT_EQ(limits->find("idle_timeout_seconds")->as_number(), 2.5);
+  const std::string obs_mode = pong.find("obs")->as_string();
+  EXPECT_TRUE(obs_mode == "on" || obs_mode == "runtime-off" ||
+              obs_mode == "compiled-out");
+}
+
+TEST(ServeSession, PingReflectsServerOptions) {
+  serve::ServerOptions options;
+  options.port = 0;
+  options.max_inflight = 17;
+  options.max_inflight_per_connection = 5;
+  options.max_line_bytes = 1 << 16;
+  serve::Server server(options);
+  server.start();
+  {
+    serve::Client client("127.0.0.1", server.port());
+    const serve::Reply pong = client.ping();
+    ASSERT_TRUE(pong.ok) << pong.error;
+    EXPECT_EQ(pong.raw.find("protocol")->as_number(), 1.0);
+    const serve::Json* limits = pong.raw.find("limits");
+    ASSERT_NE(limits, nullptr);
+    EXPECT_EQ(limits->find("max_inflight")->as_number(), 17.0);
+    EXPECT_EQ(limits->find("max_inflight_per_connection")->as_number(), 5.0);
+    EXPECT_EQ(limits->find("max_line_bytes")->as_number(),
+              static_cast<double>(1 << 16));
+  }
+  server.stop();
+}
+
+// ------------------------------------------ session client: id matching
+
+TEST(ServeSession, RepliesMatchByIdNotByOrder) {
+  with_server(serve::ServiceOptions{}, [](serve::Client& client,
+                                          serve::Server&) {
+    // Pipeline two requests, await them in reverse order: the session
+    // must hand each await its own reply, whatever order they arrived.
+    const std::uint64_t first = client.send(
+        std::string("{\"kind\":\"point\",\"p\":0.25,") + kTinyModel + "}");
+    const std::uint64_t second = client.send("{\"kind\":\"ping\"}");
+    ASSERT_NE(first, second);
+    const serve::Reply pong = client.await(second);
+    ASSERT_TRUE(pong.ok) << pong.error;
+    EXPECT_EQ(pong.kind, "ping");
+    const serve::Reply point = client.await(first);
+    ASSERT_TRUE(point.ok) << point.error;
+    EXPECT_EQ(point.kind, "point");
+    EXPECT_EQ(point.raw.find("id")->as_number(),
+              static_cast<double>(first));
+
+    // A caller-chosen numeric id is preserved, and the stamp counter
+    // skips past it so later ids cannot collide.
+    const serve::Reply chosen = client.request("{\"id\":40,\"kind\":\"ping\"}");
+    ASSERT_TRUE(chosen.ok);
+    EXPECT_EQ(chosen.raw.find("id")->as_number(), 40.0);
+    const std::uint64_t next = client.send("{\"kind\":\"ping\"}");
+    EXPECT_GT(next, 40u);
+    ASSERT_TRUE(client.await(next).ok);
+
+    // Error replies still echo the id, so pipelined failures match too.
+    const serve::Reply broken = client.request("{\"kind\":\"frobnicate\"}");
+    EXPECT_FALSE(broken.ok);
+    ASSERT_NE(broken.raw.find("id"), nullptr);
+  });
+}
+
+// ---------------------------------------- transport limits: busy replies
+
+TEST(ServeTransport, InflightCapReturnsBusy) {
+  // A blocking executor under the builtin "point" kind: requests park in
+  // the in-flight slot until released, making the cap deterministic.
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  std::atomic<int> started{0};
+  engine::ExecutorRegistry registry;
+  registry.add("point", [&](const engine::GenericJob&,
+                            const engine::ExecContext&) {
+    started.fetch_add(1);
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return gate_open; });
+    engine::GenericResult result;
+    result.payload = "held artifact";
+    return result;
+  });
+
+  serve::ServerOptions options;
+  options.port = 0;
+  options.max_inflight = 1;
+  options.workers = 2;
+  options.service.threads = 2;
+  serve::Server server(options, registry);
+  server.start();
+  {
+    serve::Client client("127.0.0.1", server.port());
+    const std::uint64_t held =
+        client.send("{\"kind\":\"point\",\"p\":0.1,\"d\":1,\"f\":1}");
+    // Wait until the first request actually occupies the in-flight slot
+    // (dispatch is asynchronous); only then is the refusal deterministic.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (started.load() == 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_EQ(started.load(), 1);
+
+    const std::uint64_t refused =
+        client.send("{\"kind\":\"point\",\"p\":0.2,\"d\":1,\"f\":1}");
+    const serve::Reply busy = client.await(refused);
+    EXPECT_FALSE(busy.ok);
+    EXPECT_EQ(busy.code, "busy");
+    EXPECT_NE(busy.error.find("server in-flight limit"), std::string::npos)
+        << busy.error;
+
+    // The transport counted the refusal and the stats reply reports it.
+    EXPECT_GE(server.transport_stats().busy.load(), 1u);
+
+    {
+      std::lock_guard<std::mutex> lock(gate_mutex);
+      gate_open = true;
+    }
+    gate_cv.notify_all();
+    const serve::Reply first = client.await(held);
+    ASSERT_TRUE(first.ok) << first.error;
+    EXPECT_EQ(first.body, "held artifact");
+
+    const serve::Reply stats = client.request("{\"kind\":\"stats\"}");
+    ASSERT_TRUE(stats.ok);
+    const serve::Json* transport = stats.raw.find("transport");
+    ASSERT_NE(transport, nullptr);
+    EXPECT_GE(transport->find("busy")->as_number(), 1.0);
+    EXPECT_GE(transport->find("accepted")->as_number(), 1.0);
+  }
+  server.stop();
+}
+
+// ----------------------------------------- transport: idle + reconnects
+
+TEST(ServeTransport, IdleConnectionsAreClosedAndSessionsReconnect) {
+  serve::ServerOptions options;
+  options.port = 0;
+  options.idle_timeout_seconds = 0.15;
+  serve::Server server(options);
+  server.start();
+  {
+    serve::Client client("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ping().ok);
+    // Go idle past the timeout: the reactor must close the connection
+    // without any client help.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (server.live_connections() > 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_EQ(server.live_connections(), 0u);
+    EXPECT_GE(server.transport_stats().idle_closed.load(), 1u);
+
+    // The session notices the dead connection on its next use and
+    // reconnects transparently (capped retries, jittered backoff).
+    EXPECT_EQ(client.reconnects(), 0u);
+    const serve::Reply pong = client.ping();
+    ASSERT_TRUE(pong.ok) << pong.error;
+    EXPECT_GE(client.reconnects(), 1u);
+
+    const serve::Reply stats = client.request("{\"kind\":\"stats\"}");
+    ASSERT_TRUE(stats.ok);
+    EXPECT_GE(stats.raw.find("transport")->find("idle_closed")->as_number(),
+              1.0);
+  }
+  server.stop();
+}
+
+// ------------------------------- transport: partial writes and framing
+
+/// A raw blocking socket (no client-side protocol help): the tests drive
+/// byte-level framing with it.
+struct RawSocket {
+  explicit RawSocket(int port) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(static_cast<std::uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &address.sin_addr);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                        sizeof(address)),
+              0);
+  }
+  ~RawSocket() {
+    if (fd >= 0) ::close(fd);
+  }
+  void send_bytes(const std::string& bytes) {
+    ASSERT_EQ(::send(fd, bytes.data(), bytes.size(), 0),
+              static_cast<ssize_t>(bytes.size()));
+  }
+  std::string read_line() {
+    std::string line;
+    char byte = 0;
+    while (::recv(fd, &byte, 1, 0) == 1) {
+      if (byte == '\n') return line;
+      line.push_back(byte);
+    }
+    ADD_FAILURE() << "connection closed before a reply line";
+    return line;
+  }
+  std::string read_all() {
+    std::string all;
+    char chunk[4096];
+    for (;;) {
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) return all;
+      all.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+  int fd = -1;
+};
+
+TEST(ServeTransport, ByteAtATimeFramingAndPartialHttpSniff) {
+  with_server(serve::ServiceOptions{}, [](serve::Client&,
+                                          serve::Server& server) {
+    // One byte per segment: the reactor sees the request as 16 partial
+    // reads and must frame it exactly once.
+    {
+      RawSocket socket(server.port());
+      const std::string request = "{\"kind\":\"ping\"}\n";
+      for (const char byte : request) {
+        socket.send_bytes(std::string(1, byte));
+      }
+      const serve::Json reply = serve::Json::parse(socket.read_line());
+      EXPECT_TRUE(reply.find("ok")->as_bool());
+    }
+    // The HTTP bugfix: a lone 'G' first read must not be classified until
+    // the method prefix is decidable — the rest of the request arrives a
+    // syscall later and must still be answered as HTTP.
+    {
+      RawSocket socket(server.port());
+      socket.send_bytes("G");
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      socket.send_bytes("ET /healthz HTTP/1.0\r\n\r\n");
+      const std::string response = socket.read_all();
+      EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos)
+          << response;
+      EXPECT_NE(response.find("\r\n\r\nok\n"), std::string::npos) << response;
+    }
+    // And the mirror image: a lone '{' then the rest as NDJSON.
+    {
+      RawSocket socket(server.port());
+      socket.send_bytes("{");
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      socket.send_bytes("\"kind\":\"ping\"}\n");
+      const serve::Json reply = serve::Json::parse(socket.read_line());
+      EXPECT_TRUE(reply.find("ok")->as_bool());
+    }
+  });
+}
+
+TEST(ServeTransport, OversizedLinesAreRefusedAndTheConnectionClosed) {
+  serve::ServerOptions options;
+  options.port = 0;
+  options.max_line_bytes = 1024;
+  serve::Server server(options);
+  server.start();
+  {
+    RawSocket socket(server.port());
+    socket.send_bytes(std::string(4096, 'x'));  // no newline, over the cap
+    const std::string all = socket.read_all();  // error reply, then close
+    EXPECT_NE(all.find("\"ok\":false"), std::string::npos) << all;
+    EXPECT_NE(all.find("exceeds"), std::string::npos) << all;
+  }
+  server.stop();
+}
+
+// ---------------------------------------- transport: many-connection soak
+
+TEST(ServeTransport, ManyConnectionsSoak) {
+  serve::ServerOptions options;
+  options.port = 0;
+  options.max_inflight = 4096;
+  serve::Server server(options);
+  server.start();
+  {
+    // Far more concurrent sockets than worker threads, all held open at
+    // once, each pipelining several requests — plus a half-written
+    // straggler that completes only after the whole fleet was served
+    // (interleaved partial writes must not confuse per-connection
+    // framing).
+    constexpr int kConnections = 256;
+    constexpr int kDepth = 3;
+    const std::string request =
+        std::string("{\"kind\":\"point\",\"p\":0.3,") + kTinyModel + "}";
+
+    RawSocket straggler(server.port());
+    const std::string full = request + "\n";
+    straggler.send_bytes(full.substr(0, full.size() / 2));
+
+    std::deque<serve::Client> sessions;
+    std::vector<std::vector<std::uint64_t>> ids(kConnections);
+    for (int c = 0; c < kConnections; ++c) {
+      sessions.emplace_back("127.0.0.1", server.port());
+      for (int r = 0; r < kDepth; ++r) {
+        ids[static_cast<std::size_t>(c)].push_back(
+            sessions.back().send(r == 0 ? request : "{\"kind\":\"ping\"}"));
+      }
+    }
+    std::string body;
+    int replies = 0;
+    for (int c = 0; c < kConnections; ++c) {
+      for (const std::uint64_t id : ids[static_cast<std::size_t>(c)]) {
+        const serve::Reply reply =
+            sessions[static_cast<std::size_t>(c)].await(id);
+        ASSERT_TRUE(reply.ok) << reply.error;
+        if (reply.kind == "point") {
+          if (body.empty()) body = reply.body;
+          EXPECT_EQ(reply.body, body) << "served bodies must be identical";
+        }
+        replies += 1;
+      }
+    }
+    EXPECT_EQ(replies, kConnections * kDepth);
+    // Every session answered, so every socket is reactor-owned by now —
+    // all concurrently open (none were closed yet).
+    EXPECT_GE(server.transport_stats().connections.load(), kConnections);
+    EXPECT_GE(server.transport_stats().accepted.load(),
+              static_cast<std::uint64_t>(kConnections) + 1);
+
+    // The straggler's second half still frames correctly after 768
+    // interleaved requests on 256 other connections.
+    straggler.send_bytes(full.substr(full.size() / 2));
+    const serve::Json late = serve::Json::parse(straggler.read_line());
+    EXPECT_TRUE(late.find("ok")->as_bool());
+  }
+  server.stop();
+  EXPECT_EQ(server.live_connections(), 0u);
 }
 
 TEST(ServeHttp, FinishedConnectionsAreReapedEagerly) {

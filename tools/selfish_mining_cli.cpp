@@ -539,15 +539,36 @@ int cmd_serve(int argc, const char* const* argv) {
                   "commands; a restarted server answers warm from it");
   options.declare("lru-mb", "64",
                   "in-memory artifact cache budget in MiB (0 disables)");
+  options.declare("workers", "0",
+                  "protocol worker threads between the reactor and the "
+                  "job pool (0 = all cores); bounds concurrent request "
+                  "handling no matter how many connections are open");
+  options.declare("max-inflight", "256",
+                  "global cap on dispatched-but-unanswered requests; "
+                  "excess lines get an immediate `busy` reply (0 = off)");
+  options.declare("max-inflight-per-conn", "32",
+                  "the same cap per connection, so one pipelining client "
+                  "cannot monopolize the pool (0 = off)");
+  options.declare("idle-timeout", "0",
+                  "seconds after which a connection with no traffic and "
+                  "nothing in flight is closed (0 = never)");
   declare_trace_option(options);
   if (!parse_or_help(options, argc, argv)) return 0;
 
   const int lru_mb = options.get_int("lru-mb");
   SM_REQUIRE(lru_mb >= 0, "--lru-mb must be non-negative, got ", lru_mb);
+  const double idle_timeout = options.get_double("idle-timeout");
+  SM_REQUIRE(idle_timeout >= 0, "--idle-timeout must be non-negative, got ",
+             idle_timeout);
 
   serve::ServerOptions server_options;
   server_options.host = options.get_string("host");
   server_options.port = options.get_int("port");
+  server_options.workers = options.get_int("workers");
+  server_options.max_inflight = options.get_int("max-inflight");
+  server_options.max_inflight_per_connection =
+      options.get_int("max-inflight-per-conn");
+  server_options.idle_timeout_seconds = idle_timeout;
   server_options.service.cache_dir = options.get_string("cache-dir");
   server_options.service.threads = options.get_int("threads");
   server_options.service.job_threads = options.get_int("job-threads");
@@ -601,6 +622,13 @@ int cmd_serve(int argc, const char* const* argv) {
                static_cast<unsigned long long>(stats.coalesced),
                static_cast<unsigned long long>(stats.errors),
                static_cast<unsigned long long>(stats.rejected));
+  const serve::TransportStats& transport = server.transport_stats();
+  std::fprintf(stderr,
+               "serve: transport — %llu connections accepted, %llu busy "
+               "refusals, %llu idle closes\n",
+               static_cast<unsigned long long>(transport.accepted.load()),
+               static_cast<unsigned long long>(transport.busy.load()),
+               static_cast<unsigned long long>(transport.idle_closed.load()));
   return 0;
 }
 
