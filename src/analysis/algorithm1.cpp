@@ -44,6 +44,17 @@ AnalysisResult analyze(const selfish::SelfishModel& model,
 
   std::vector<double> values;
   if (warm_start != nullptr) values = *warm_start;
+  // Warm starts arrive from neighboring grid points (engine chains,
+  // threshold bisection) whose reachable state count can differ — the
+  // set of reachable states depends on p. A foreign-sized vector cannot
+  // seed this model's solves (the kernel rejects it rather than silently
+  // cold-starting), so the cross-model boundary is handled here, once
+  // and explicitly: discard and start cold. Deterministic — the decision
+  // is a pure function of the two state counts.
+  if (!values.empty() &&
+      values.size() != static_cast<std::size_t>(m.num_states())) {
+    values.clear();
+  }
   const std::vector<double>* seed = values.empty() ? nullptr : &values;
 
   while (result.beta_hi - result.beta_lo >= options.epsilon) {

@@ -27,7 +27,12 @@ namespace engine {
 /// w.r.t. that sweep's input vector) instead of by an extra extraction
 /// sweep — boundary states can pick a different ε-optimal action, so
 /// errev_of_policy may shift within the ε band.
-inline constexpr std::uint32_t kCodeVersionSalt = 2;
+/// v3: the Gauss–Seidel solver grew a second certified iterate path
+/// (SweepMode::kRedBlack, parallel two-phase colored sweeps) and job keys
+/// grew a `sweep=` token; bumping the salt makes every pre-v3 entry miss
+/// so cached artifacts never mix iterate paths. (Gather/prefetch tuning
+/// is byte-identical and deliberately NOT keyed, like `threads`.)
+inline constexpr std::uint32_t kCodeVersionSalt = 3;
 
 /// One Algorithm 1 evaluation: build the model for `params`, analyze with
 /// `options`. This is the unit of work behind `analysis::sweep_p`, the

@@ -1,0 +1,29 @@
+// Portable baseline of the gather-product contract. The kernel's fused
+// scalar loop does not route through this function (it folds the product
+// into the per-action sum directly); this exists so tests can exercise
+// the GatherProductsFn contract itself and diff the ISA variants against
+// a reference with identical semantics.
+#include "mdp/bellman_gather.hpp"
+
+namespace mdp::detail {
+
+void scalar_gather_products(const double* probs, const StateId* targets,
+                            const double* values, double* out,
+                            std::uint32_t count, int prefetch) {
+  if (count == 0) return;
+  if (prefetch > 0) {
+    const std::uint32_t dist = static_cast<std::uint32_t>(prefetch);
+    const std::uint32_t last = count - 1;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::uint32_t ahead = i + dist;
+      __builtin_prefetch(&values[targets[ahead < count ? ahead : last]]);
+      out[i] = probs[i] * values[targets[i]];
+    }
+    return;
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    out[i] = probs[i] * values[targets[i]];
+  }
+}
+
+}  // namespace mdp::detail

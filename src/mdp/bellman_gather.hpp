@@ -1,0 +1,46 @@
+// Runtime-dispatched gather kernels for the Bellman backup product pass.
+//
+// The only data-parallel work in a backup that can vectorize without
+// changing results is the element-wise product probs[i] * v[targets[i]]:
+// IEEE multiplication is independent per element, so computing the
+// products 4 or 8 at a time with hardware gathers and then summing them
+// in the original scalar order is byte-identical to the all-scalar loop.
+// (The sums themselves must NOT vectorize — a reassociated reduction
+// rounds differently — and the solver TUs compile with -ffp-contract=off
+// so no path contracts the multiply into an FMA.)
+//
+// Each ISA variant lives in its own translation unit compiled with just
+// that TU's -m flags (see CMakeLists.txt); this header stays ISA-free so
+// every includer builds on the portable baseline. The factories return
+// nullptr when the variant was not compiled in OR the running CPU lacks
+// the feature, giving one uniform "unavailable" answer for both cases.
+#pragma once
+
+#include <cstdint>
+
+#include "mdp/mdp.hpp"
+
+namespace mdp::detail {
+
+/// Writes out[i] = probs[i] * values[targets[i]] for i in [0, count).
+/// `out` is 64-byte aligned with capacity rounded up to 8 doubles, so
+/// implementations may store full vectors over the tail. `prefetch` is
+/// the software-prefetch lookahead in transitions (0 = off); scalar honors
+/// it, hardware-gather variants may ignore it.
+using GatherProductsFn = void (*)(const double* probs, const StateId* targets,
+                                  const double* values, double* out,
+                                  std::uint32_t count, int prefetch);
+
+/// Portable baseline, always available.
+void scalar_gather_products(const double* probs, const StateId* targets,
+                            const double* values, double* out,
+                            std::uint32_t count, int prefetch);
+
+/// AVX2 vgatherdpd path: non-null iff compiled in and supported by the
+/// running CPU.
+GatherProductsFn avx2_gather_products();
+
+/// AVX-512F vgatherdpd path (8-wide): same availability contract.
+GatherProductsFn avx512_gather_products();
+
+}  // namespace mdp::detail

@@ -1,0 +1,49 @@
+// AVX2 gather-product kernel. This TU (alone) is compiled with -mavx2
+// when the compiler supports the flag; the factory returns nullptr unless
+// the running CPU also reports AVX2, so linking this in never executes an
+// illegal instruction on older hardware.
+#include "mdp/bellman_gather.hpp"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace mdp::detail {
+
+#if defined(__AVX2__)
+
+namespace {
+
+void avx2_impl(const double* probs, const StateId* targets,
+               const double* values, double* out, std::uint32_t count,
+               int /*prefetch*/) {
+  static_assert(sizeof(StateId) == 4, "vgatherdpd wants 32-bit indices");
+  std::uint32_t i = 0;
+  // out has 8-double padded capacity, so a full 4-lane store at the last
+  // partial group stays inside the allocation; the sum pass only reads
+  // the first `count` products.
+  for (; i + 4 <= count; i += 4) {
+    const __m128i idx =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(targets + i));
+    const __m256d gathered = _mm256_i32gather_pd(values, idx, 8);
+    const __m256d prod = _mm256_mul_pd(_mm256_loadu_pd(probs + i), gathered);
+    _mm256_storeu_pd(out + i, prod);
+  }
+  for (; i < count; ++i) {
+    out[i] = probs[i] * values[targets[i]];
+  }
+}
+
+}  // namespace
+
+GatherProductsFn avx2_gather_products() {
+  return __builtin_cpu_supports("avx2") ? &avx2_impl : nullptr;
+}
+
+#else  // !defined(__AVX2__)
+
+GatherProductsFn avx2_gather_products() { return nullptr; }
+
+#endif
+
+}  // namespace mdp::detail

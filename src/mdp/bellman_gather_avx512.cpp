@@ -1,0 +1,47 @@
+// AVX-512F gather-product kernel (8-wide vgatherdpd). Same contract as
+// the AVX2 TU: compiled with -mavx512f only for this file, gated at
+// runtime on the CPU actually reporting the feature.
+#include "mdp/bellman_gather.hpp"
+
+#if defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+
+namespace mdp::detail {
+
+#if defined(__AVX512F__)
+
+namespace {
+
+void avx512_impl(const double* probs, const StateId* targets,
+                 const double* values, double* out, std::uint32_t count,
+                 int /*prefetch*/) {
+  static_assert(sizeof(StateId) == 4, "vgatherdpd wants 32-bit indices");
+  std::uint32_t i = 0;
+  // Full-width stores over the final partial group are safe: out is
+  // padded to a multiple of 8 doubles and the sum pass stops at `count`.
+  for (; i + 8 <= count; i += 8) {
+    const __m256i idx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(targets + i));
+    const __m512d gathered = _mm512_i32gather_pd(idx, values, 8);
+    const __m512d prod = _mm512_mul_pd(_mm512_loadu_pd(probs + i), gathered);
+    _mm512_storeu_pd(out + i, prod);
+  }
+  for (; i < count; ++i) {
+    out[i] = probs[i] * values[targets[i]];
+  }
+}
+
+}  // namespace
+
+GatherProductsFn avx512_gather_products() {
+  return __builtin_cpu_supports("avx512f") ? &avx512_impl : nullptr;
+}
+
+#else  // !defined(__AVX512F__)
+
+GatherProductsFn avx512_gather_products() { return nullptr; }
+
+#endif
+
+}  // namespace mdp::detail

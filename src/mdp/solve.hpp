@@ -37,6 +37,14 @@ struct SolveOptions {
   /// path). Off = the legacy AoS reference implementation; both produce
   /// bit-identical results, so this knob too is excluded from job keys.
   bool use_kernel = true;
+  /// Kernel speed/iterate-path knobs. `tuning.gather` and
+  /// `tuning.prefetch_distance` are byte-identical speed knobs (excluded
+  /// from job keys, like `threads`); `tuning.sweep_mode` selects the
+  /// certified Gauss–Seidel iterate path and DOES participate in job
+  /// identity (engine::solver_options_id renders it). The red-black mode
+  /// requires the kernel gs path — the legacy AoS reference implements
+  /// only ordered sweeps.
+  KernelTuning tuning;
 };
 
 /// Maximizes the mean payoff of `mdp` for the per-action reward vector.

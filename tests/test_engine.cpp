@@ -83,6 +83,51 @@ TEST(EngineKeys, PinAllInputsAndLineage) {
   EXPECT_NE(engine::analysis_chain_id(job), engine::analysis_chain_id(other));
 }
 
+TEST(EngineKeys, SaltV3InvalidatesPreRedBlackCaches) {
+  // The red-black Gauss–Seidel iterate path shipped with a salt bump
+  // 2→3: every canonical key must carry the v3 prefix (so all pre-PR
+  // store entries miss cleanly) and must never render the old one.
+  EXPECT_EQ(engine::kCodeVersionSalt, 3u);
+  engine::AnalysisJob job;
+  job.params = base_params();
+  job.params.p = 0.2;
+  job.options = quick_options();
+  const engine::JobKey key = engine::analysis_job_key(job, nullptr);
+  EXPECT_EQ(key.canonical.rfind("analysis/v3|", 0), 0u) << key.canonical;
+  EXPECT_EQ(key.canonical.find("analysis/v2"), std::string::npos);
+}
+
+TEST(EngineKeys, SweepModeIsPartOfTheIdentity) {
+  // Ordered and red-black gs converge to different (equally certified)
+  // numbers, so the sweep mode must split job identities — while the
+  // byte-identical speed knobs (threads, use_kernel, gather, prefetch)
+  // must NOT.
+  engine::AnalysisJob job;
+  job.params = base_params();
+  job.params.p = 0.2;
+  job.options = quick_options();
+  job.options.solver.method = mdp::SolverMethod::kGaussSeidel;
+  const engine::JobKey ordered = engine::analysis_job_key(job, nullptr);
+  EXPECT_NE(ordered.canonical.find("|sweep=ordered|"), std::string::npos)
+      << ordered.canonical;
+
+  engine::AnalysisJob red = job;
+  red.options.solver.tuning.sweep_mode = mdp::SweepMode::kRedBlack;
+  const engine::JobKey redblack = engine::analysis_job_key(red, nullptr);
+  EXPECT_NE(redblack.canonical.find("|sweep=redblack|"), std::string::npos)
+      << redblack.canonical;
+  EXPECT_NE(ordered.hash, redblack.hash);
+  EXPECT_NE(engine::analysis_chain_id(job), engine::analysis_chain_id(red));
+
+  engine::AnalysisJob tuned = job;
+  tuned.options.solver.threads = 8;
+  tuned.options.solver.use_kernel = false;
+  tuned.options.solver.tuning.gather = mdp::GatherMode::kScalar;
+  tuned.options.solver.tuning.prefetch_distance = 0;
+  EXPECT_EQ(engine::analysis_job_key(tuned, nullptr).hash, ordered.hash)
+      << "speed-only knobs must not change stored identities";
+}
+
 TEST(Engine, MatchesSequentialReferenceBitwise) {
   const auto reference =
       analysis::sweep_p_sequential(base_params(), grid(), quick_options());

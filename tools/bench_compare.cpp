@@ -33,6 +33,8 @@ struct Row {
   double real_time = 0.0;
   std::string time_unit;
   double achieved_gbps = 0.0;  ///< 0 = counter absent.
+  double sweep_p50_ms = 0.0;   ///< Per-sweep wall-time p50; 0 = absent.
+  double sweep_p99_ms = 0.0;   ///< Per-sweep wall-time p99; 0 = absent.
 };
 
 std::map<std::string, Row> load_rows(const std::string& path) {
@@ -60,6 +62,12 @@ std::map<std::string, Row> load_rows(const std::string& path) {
     }
     if (const serve::Json* gbps = entry.find("achieved_gbps")) {
       row.achieved_gbps = gbps->as_number();
+    }
+    if (const serve::Json* p50 = entry.find("sweep_p50_ms")) {
+      row.sweep_p50_ms = p50->as_number();
+    }
+    if (const serve::Json* p99 = entry.find("sweep_p99_ms")) {
+      row.sweep_p99_ms = p99->as_number();
     }
     rows.emplace(entry.find("name")->as_string(), row);
   }
@@ -128,6 +136,12 @@ int main(int argc, char** argv) {
       if (base.achieved_gbps > 0.0) {
         std::printf("  gbps %7.2f -> %7.2f (%+6.1f%%)", base.achieved_gbps,
                     cand.achieved_gbps, 100.0 * gbps_delta);
+      }
+      // Informational (never gated): the per-sweep wall-time spread from
+      // the candidate row, when the bench exported it.
+      if (cand.sweep_p50_ms > 0.0) {
+        std::printf("  sweep p50 %.3fms p99 %.3fms", cand.sweep_p50_ms,
+                    cand.sweep_p99_ms);
       }
       std::printf("\n");
       if (time_bad || gbps_bad) ++regressions;
