@@ -10,11 +10,15 @@
 // acceptance target (ISSUE 5) is a >= 10x warm-vs-cold speedup on the
 // repeated workload.
 //
-// Two further phases exercise the event-driven transport itself: a soak
-// holds hundreds of concurrent pipelined connections against the bounded
-// worker pool (connections >> threads, zero dropped or mismatched
-// replies), and an overload burst against a small --max-inflight cap
-// verifies the server answers `busy` instead of queueing unboundedly.
+// Three further phases: a soak holds hundreds of concurrent pipelined
+// connections against the bounded worker pool (connections >> threads,
+// zero dropped or mismatched replies); an overload burst against a small
+// --max-inflight cap verifies the server answers `busy` instead of
+// queueing unboundedly; and a fleet phase runs 2 (4 with --bench-full)
+// replicas on one shared cache directory, fires the identical cold
+// workload at every replica at once, and requires the cross-process
+// lease to hold fleet-wide executions at exactly one per distinct query
+// before routing a warm pass through the rendezvous-hashing router.
 //
 //   bench_serve [--threads=0] [--bench-full]
 #include <algorithm>
@@ -24,12 +28,14 @@
 #include <cstdint>
 #include <deque>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "fleet/router.hpp"
 #include "obs/metrics.hpp"
 #include "serve/client.hpp"
 #include "serve/json.hpp"
@@ -311,6 +317,115 @@ void run_overload(int threads, bool full) {
   fs::remove_all(cache_dir);
 }
 
+/// Multi-replica phase: R servers share ONE cache directory, and the
+/// identical cold workload is fired at *every* replica simultaneously —
+/// deliberately bypassing the router so each distinct query is requested
+/// R times at once, the worst case for duplicate work. The cross-process
+/// lease (fleet/lease.hpp) must keep the fleet-wide execution count at
+/// exactly one per distinct query; the difference R*Q - Q resolves as
+/// waits and store hits. A warm pass then routes through fleet::Router.
+void run_fleet(int threads, const Workload& workload, bool full) {
+  const int replicas = full ? 4 : 2;
+  const std::string cache_dir =
+      (fs::temp_directory_path() / "bench_serve_fleet").string();
+  fs::remove_all(cache_dir);
+
+  std::vector<std::unique_ptr<serve::Server>> fleet;
+  for (int r = 0; r < replicas; ++r) {
+    serve::ServerOptions server_options;
+    server_options.port = 0;
+    server_options.service.cache_dir = cache_dir;
+    server_options.service.threads = threads;
+    fleet.push_back(std::make_unique<serve::Server>(server_options));
+    fleet.back()->start();
+  }
+
+  // Cold: one driver per replica, same request stream, started together.
+  const support::Timer cold_timer;
+  std::vector<std::thread> drivers;
+  drivers.reserve(fleet.size());
+  for (const auto& server : fleet) {
+    drivers.emplace_back([&workload, port = server->port()] {
+      serve::Client client("127.0.0.1", port);
+      for (const std::string& request : workload.requests) {
+        const serve::Reply reply = client.request(request);
+        SM_REQUIRE(reply.ok, "fleet cold query failed: ", reply.error);
+      }
+    });
+  }
+  for (std::thread& thread : drivers) thread.join();
+  const double cold_seconds = cold_timer.seconds();
+
+  // Fleet-wide accounting straight from each replica's stats reply.
+  double executions = 0, fleet_waits = 0, takeovers = 0;
+  double solves = 0, store_hits = 0, requests = 0;
+  for (const auto& server : fleet) {
+    serve::Client client("127.0.0.1", server->port());
+    const serve::Json reply =
+        serve::Json::parse(client.request_raw("{\"kind\":\"stats\"}"));
+    const serve::Json* block = reply.find("fleet");
+    SM_REQUIRE(block != nullptr, "stats reply lacks the fleet block");
+    executions += stat_number(*block, "executions");
+    fleet_waits += stat_number(*block, "waits");
+    takeovers += stat_number(*block, "takeovers");
+    solves += stat_number(reply, "solves");
+    store_hits += stat_number(reply, "store_hits");
+    requests += stat_number(reply, "requests");
+  }
+  const double distinct = static_cast<double>(workload.requests.size());
+  const double duplicates = solves - distinct;
+
+  std::printf("\nfleet %d replicas, one shared store: %zu distinct queries "
+              "x %d replicas cold in %.3f s\n",
+              replicas, workload.requests.size(), replicas, cold_seconds);
+  std::printf("      fleet-wide executions %.0f (target %.0f), "
+              "%.0f duplicate solves, %.0f lease waits, %.0f takeovers, "
+              "cold hit rate %5.1f%%\n",
+              executions, distinct, duplicates, fleet_waits, takeovers,
+              100.0 * store_hits / requests);
+  SM_REQUIRE(executions == distinct && duplicates == 0,
+             "cross-process single-flight leaked duplicate work: ",
+             executions, " executions / ", solves, " solves for ", distinct,
+             " distinct queries");
+
+  // Warm: the full stream again, but routed — each query lands on its
+  // rendezvous owner. Bodies must match the replies the cold pass saw.
+  std::string csv;
+  for (const auto& server : fleet) {
+    if (!csv.empty()) csv += ',';
+    csv += "127.0.0.1:" + std::to_string(server->port());
+  }
+  fleet::Router router(fleet::parse_endpoints(csv));
+  std::vector<std::string> expected;
+  {
+    serve::Client reference("127.0.0.1", fleet.front()->port());
+    for (const std::string& request : workload.requests) {
+      expected.push_back(reference.request(request).body);
+    }
+  }
+  const int repeat = full ? 16 : 8;
+  const support::Timer warm_timer;
+  for (int r = 0; r < repeat; ++r) {
+    for (std::size_t i = 0; i < workload.requests.size(); ++i) {
+      const serve::Reply reply = router.request(workload.requests[i]);
+      SM_REQUIRE(reply.ok, "fleet warm query failed: ", reply.error);
+      SM_REQUIRE(reply.body == expected[i],
+                 "routed reply body diverged from the direct reply");
+    }
+  }
+  const double warm_seconds = warm_timer.seconds();
+  const double warm_requests =
+      static_cast<double>(repeat) * static_cast<double>(
+                                        workload.requests.size());
+  std::printf("      warm via router: %.0f requests  %8.3f s  %9.1f qps  "
+              "%llu failovers\n",
+              warm_requests, warm_seconds, warm_requests / warm_seconds,
+              static_cast<unsigned long long>(router.failovers()));
+
+  for (const auto& server : fleet) server->stop();
+  fs::remove_all(cache_dir);
+}
+
 /// Renders a quantile in milliseconds, or "-" when the histogram was
 /// empty (quantile() returns NaN then).
 std::string quantile_ms(const obs::HistogramSnapshot& hist, double q) {
@@ -416,6 +531,8 @@ int main(int argc, char** argv) {
   run_soak(server.port(), workload, soak_connections, /*depth=*/4);
 
   run_overload(bench::thread_count(options), full);
+
+  run_fleet(bench::thread_count(options), workload, full);
 
   bench::write_metrics_snapshot(options);
   server.stop();

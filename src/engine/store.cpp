@@ -7,6 +7,7 @@
 #include <sstream>
 #include <thread>
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include "obs/log.hpp"
@@ -236,6 +237,22 @@ std::mutex& journal_mutex() {
   return mutex;
 }
 
+/// Appends one journal record as a single O_APPEND write(). O_APPEND
+/// makes the seek+write atomic against other appenders, and issuing the
+/// whole line in one write() keeps records from *different processes*
+/// sharing the cache directory from interleaving mid-line (the in-process
+/// journal_mutex covers threads; it cannot cover replicas). Best effort,
+/// like the entry write it follows.
+void append_journal(const std::string& path, const JobKey& key) {
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd < 0) return;
+  const std::string line = key.hex() + ' ' + key.canonical + '\n';
+  [[maybe_unused]] const ssize_t written =
+      ::write(fd, line.data(), line.size());
+  ::close(fd);
+}
+
 }  // namespace
 
 ResultStore::ResultStore(std::string dir) : dir_(std::move(dir)) {}
@@ -274,10 +291,7 @@ void ResultStore::store(const JobKey& key, const StoredResult& result) const {
   }
 
   const std::lock_guard<std::mutex> lock(journal_mutex());
-  std::ofstream journal(journal_path(), std::ios::app);
-  if (journal.good()) {
-    journal << key.hex() << ' ' << key.canonical << '\n';
-  }
+  append_journal(journal_path(), key);
 }
 
 std::optional<GenericResult> ResultStore::load_generic(
@@ -308,10 +322,26 @@ void ResultStore::store_generic(const JobKey& key,
   }
 
   const std::lock_guard<std::mutex> lock(journal_mutex());
-  std::ofstream journal(journal_path(), std::ios::app);
-  if (journal.good()) {
-    journal << key.hex() << ' ' << key.canonical << '\n';
+  append_journal(journal_path(), key);
+}
+
+std::vector<ResultStore::JournalRecord> ResultStore::read_journal() const {
+  std::vector<JournalRecord> records;
+  if (!enabled()) return records;
+  std::ifstream in(journal_path());
+  if (!in.good()) return records;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const std::size_t space = line.find(' ');
+    if (space != 16 || line.size() <= 17) continue;  // malformed: skip
+    const std::string hex = line.substr(0, 16);
+    if (hex.find_first_not_of("0123456789abcdef") != std::string::npos) {
+      continue;
+    }
+    records.push_back(JournalRecord{hex, line.substr(17)});
   }
+  return records;
 }
 
 }  // namespace engine

@@ -10,6 +10,13 @@
 // as a miss and is recomputed. journal.log appends one line per completed
 // job in completion order — an audit trail for long sweeps; resumption
 // itself needs only the entries.
+//
+// The store is safe to share across *processes*, not just threads: entry
+// writes are atomic renames, and journal appends go through one O_APPEND
+// write() per record, which POSIX makes atomic with respect to other
+// appenders — N serve replicas on one cache directory never interleave
+// partial lines. read_journal() tolerates garbage lines regardless (a
+// journal predating this guarantee, or a torn line from a crash).
 #pragma once
 
 #include <cstdint>
@@ -81,6 +88,18 @@ class ResultStore {
 
   /// Path of the completion journal.
   std::string journal_path() const;
+
+  /// One journal line: the 16-hex entry name and the full canonical key.
+  struct JournalRecord {
+    std::string hex;
+    std::string canonical;
+  };
+
+  /// Reads the journal back, skipping anything that is not a well-formed
+  /// record (first token not 16 hex chars, no separating space): the
+  /// journal is an audit trail, so a damaged line costs one record, never
+  /// the read. Empty when the store is disabled or the journal absent.
+  std::vector<JournalRecord> read_journal() const;
 
  private:
   std::string dir_;

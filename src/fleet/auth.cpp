@@ -1,0 +1,199 @@
+#include "fleet/auth.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <random>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace fleet {
+
+namespace {
+
+// ------------------------------------------------------------- SHA-256
+// Straight FIPS 180-4: 512-bit blocks, 64 rounds, big-endian lengths.
+
+constexpr std::array<std::uint32_t, 64> kRoundConstants = {
+    0x428a2f98u, 0x71374491u, 0xb5c0fbcfu, 0xe9b5dba5u, 0x3956c25bu,
+    0x59f111f1u, 0x923f82a4u, 0xab1c5ed5u, 0xd807aa98u, 0x12835b01u,
+    0x243185beu, 0x550c7dc3u, 0x72be5d74u, 0x80deb1feu, 0x9bdc06a7u,
+    0xc19bf174u, 0xe49b69c1u, 0xefbe4786u, 0x0fc19dc6u, 0x240ca1ccu,
+    0x2de92c6fu, 0x4a7484aau, 0x5cb0a9dcu, 0x76f988dau, 0x983e5152u,
+    0xa831c66du, 0xb00327c8u, 0xbf597fc7u, 0xc6e00bf3u, 0xd5a79147u,
+    0x06ca6351u, 0x14292967u, 0x27b70a85u, 0x2e1b2138u, 0x4d2c6dfcu,
+    0x53380d13u, 0x650a7354u, 0x766a0abbu, 0x81c2c92eu, 0x92722c85u,
+    0xa2bfe8a1u, 0xa81a664bu, 0xc24b8b70u, 0xc76c51a3u, 0xd192e819u,
+    0xd6990624u, 0xf40e3585u, 0x106aa070u, 0x19a4c116u, 0x1e376c08u,
+    0x2748774cu, 0x34b0bcb5u, 0x391c0cb3u, 0x4ed8aa4au, 0x5b9cca4fu,
+    0x682e6ff3u, 0x748f82eeu, 0x78a5636fu, 0x84c87814u, 0x8cc70208u,
+    0x90befffau, 0xa4506cebu, 0xbef9a3f7u, 0xc67178f2u};
+
+std::uint32_t rotr(std::uint32_t x, unsigned n) {
+  return (x >> n) | (x << (32 - n));
+}
+
+struct Sha256State {
+  std::array<std::uint32_t, 8> h = {0x6a09e667u, 0xbb67ae85u, 0x3c6ef372u,
+                                    0xa54ff53au, 0x510e527fu, 0x9b05688cu,
+                                    0x1f83d9abu, 0x5be0cd19u};
+
+  void compress(const std::uint8_t* block) {
+    std::array<std::uint32_t, 64> w;
+    for (int i = 0; i < 16; ++i) {
+      w[i] = (std::uint32_t{block[4 * i]} << 24) |
+             (std::uint32_t{block[4 * i + 1]} << 16) |
+             (std::uint32_t{block[4 * i + 2]} << 8) |
+             std::uint32_t{block[4 * i + 3]};
+    }
+    for (int i = 16; i < 64; ++i) {
+      const std::uint32_t s0 =
+          rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+      const std::uint32_t s1 =
+          rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+      w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+    std::uint32_t a = h[0], b = h[1], c = h[2], d = h[3];
+    std::uint32_t e = h[4], f = h[5], g = h[6], hh = h[7];
+    for (int i = 0; i < 64; ++i) {
+      const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+      const std::uint32_t ch = (e & f) ^ (~e & g);
+      const std::uint32_t t1 = hh + s1 + ch + kRoundConstants[i] + w[i];
+      const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+      const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+      const std::uint32_t t2 = s0 + maj;
+      hh = g;
+      g = f;
+      f = e;
+      e = d + t1;
+      d = c;
+      c = b;
+      b = a;
+      a = t1 + t2;
+    }
+    h[0] += a;
+    h[1] += b;
+    h[2] += c;
+    h[3] += d;
+    h[4] += e;
+    h[5] += f;
+    h[6] += g;
+    h[7] += hh;
+  }
+};
+
+}  // namespace
+
+std::array<std::uint8_t, 32> sha256(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  Sha256State state;
+  std::size_t offset = 0;
+  while (size - offset >= 64) {
+    state.compress(bytes + offset);
+    offset += 64;
+  }
+  // Final block(s): message tail, 0x80 terminator, zero pad, 64-bit
+  // big-endian bit length.
+  std::array<std::uint8_t, 128> tail{};
+  const std::size_t rest = size - offset;
+  std::memcpy(tail.data(), bytes + offset, rest);
+  tail[rest] = 0x80;
+  const std::size_t padded = rest + 1 + 8 <= 64 ? 64 : 128;
+  const std::uint64_t bits = std::uint64_t{size} * 8;
+  for (int i = 0; i < 8; ++i) {
+    tail[padded - 1 - i] = static_cast<std::uint8_t>(bits >> (8 * i));
+  }
+  state.compress(tail.data());
+  if (padded == 128) state.compress(tail.data() + 64);
+
+  std::array<std::uint8_t, 32> digest;
+  for (int i = 0; i < 8; ++i) {
+    digest[4 * i] = static_cast<std::uint8_t>(state.h[i] >> 24);
+    digest[4 * i + 1] = static_cast<std::uint8_t>(state.h[i] >> 16);
+    digest[4 * i + 2] = static_cast<std::uint8_t>(state.h[i] >> 8);
+    digest[4 * i + 3] = static_cast<std::uint8_t>(state.h[i]);
+  }
+  return digest;
+}
+
+std::string to_hex(const std::uint8_t* data, std::size_t size) {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(size * 2);
+  for (std::size_t i = 0; i < size; ++i) {
+    out.push_back(kDigits[data[i] >> 4]);
+    out.push_back(kDigits[data[i] & 0xf]);
+  }
+  return out;
+}
+
+std::string hmac_sha256_hex(const std::string& key,
+                            const std::string& message) {
+  // RFC 2104 with B = 64: keys longer than a block are hashed first,
+  // shorter ones zero-padded.
+  std::array<std::uint8_t, 64> block{};
+  if (key.size() > block.size()) {
+    const auto digest = sha256(key.data(), key.size());
+    std::memcpy(block.data(), digest.data(), digest.size());
+  } else {
+    std::memcpy(block.data(), key.data(), key.size());
+  }
+  std::string inner;
+  inner.reserve(block.size() + message.size());
+  for (const std::uint8_t byte : block) {
+    inner.push_back(static_cast<char>(byte ^ 0x36));
+  }
+  inner += message;
+  const auto inner_digest = sha256(inner.data(), inner.size());
+
+  std::string outer;
+  outer.reserve(block.size() + inner_digest.size());
+  for (const std::uint8_t byte : block) {
+    outer.push_back(static_cast<char>(byte ^ 0x5c));
+  }
+  outer.append(reinterpret_cast<const char*>(inner_digest.data()),
+               inner_digest.size());
+  const auto digest = sha256(outer.data(), outer.size());
+  return to_hex(digest.data(), digest.size());
+}
+
+std::string load_secret_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  SM_REQUIRE(in.good(), "cannot read auth secret file: ", path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string secret = buffer.str();
+  while (!secret.empty() &&
+         (secret.back() == '\n' || secret.back() == '\r' ||
+          secret.back() == ' ' || secret.back() == '\t')) {
+    secret.pop_back();
+  }
+  SM_REQUIRE(!secret.empty(), "auth secret file is empty: ", path);
+  return secret;
+}
+
+std::string random_challenge() {
+  std::random_device device;
+  std::array<std::uint8_t, 16> bytes;
+  for (std::size_t i = 0; i < bytes.size(); i += 4) {
+    const std::uint32_t word = device();
+    bytes[i] = static_cast<std::uint8_t>(word >> 24);
+    bytes[i + 1] = static_cast<std::uint8_t>(word >> 16);
+    bytes[i + 2] = static_cast<std::uint8_t>(word >> 8);
+    bytes[i + 3] = static_cast<std::uint8_t>(word);
+  }
+  return to_hex(bytes.data(), bytes.size());
+}
+
+bool equals_constant_time(const std::string& a, const std::string& b) {
+  // Fold the length difference into the accumulator instead of
+  // early-returning; index b cyclically so every a-byte is touched.
+  unsigned diff = static_cast<unsigned>(a.size() ^ b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const char other = b.empty() ? '\0' : b[i % b.size()];
+    diff |= static_cast<unsigned char>(a[i] ^ other);
+  }
+  return diff == 0;
+}
+
+}  // namespace fleet

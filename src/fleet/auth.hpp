@@ -1,0 +1,46 @@
+// Shared-secret authentication primitives for the serve fleet.
+//
+// Servers that leave loopback need to know a request comes from a peer
+// holding the deployment secret. The scheme is a classic challenge/
+// response folded into the protocol-v1 `ping` handshake: the server
+// mints a random per-connection challenge, the client answers with
+// HMAC-SHA256(secret, challenge), and the server compares in constant
+// time. The secret itself never crosses the wire, and a recorded
+// handshake is useless against a fresh connection (fresh challenge).
+//
+// Everything here is dependency-free: SHA-256 is implemented from the
+// FIPS 180-4 spec, HMAC from RFC 2104. Throughput is irrelevant — the
+// primitives run once per connection, not per request.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace fleet {
+
+/// SHA-256 of `data`; returns the 32-byte digest.
+std::array<std::uint8_t, 32> sha256(const void* data, std::size_t size);
+
+/// HMAC-SHA256(key, message) rendered as 64 lowercase hex chars — the
+/// wire form used in the `ping` auth handshake.
+std::string hmac_sha256_hex(const std::string& key, const std::string& message);
+
+/// Lowercase hex of an arbitrary byte string.
+std::string to_hex(const std::uint8_t* data, std::size_t size);
+
+/// Reads a shared secret from `path`, trimming trailing whitespace (so
+/// `echo secret > file` works). Throws support::InvalidArgument when the
+/// file is missing, unreadable, or empty after trimming: a server asked
+/// to authenticate must never silently run open.
+std::string load_secret_file(const std::string& path);
+
+/// A fresh random challenge (32 hex chars from std::random_device),
+/// minted per connection by a secured server.
+std::string random_challenge();
+
+/// Constant-time string equality — comparison time depends only on the
+/// lengths, not on where the strings first differ.
+bool equals_constant_time(const std::string& a, const std::string& b);
+
+}  // namespace fleet

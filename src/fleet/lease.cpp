@@ -1,0 +1,163 @@
+#include "fleet/lease.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <filesystem>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "support/check.hpp"
+
+namespace fleet {
+
+namespace {
+
+double now_realtime() {
+  timespec ts{};
+  clock_gettime(CLOCK_REALTIME, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+/// mtime of `path` on the CLOCK_REALTIME timeline, or nullopt-like
+/// failure signalled via `ok`.
+bool lease_mtime(const std::string& path, double* mtime) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) return false;
+  *mtime = static_cast<double>(st.st_mtim.tv_sec) +
+           static_cast<double>(st.st_mtim.tv_nsec) * 1e-9;
+  return true;
+}
+
+/// Refreshes the lease heartbeat while the holder executes. A plain
+/// thread + condvar so release is prompt (no poll-granularity join).
+class Heartbeat {
+ public:
+  Heartbeat(std::string path, double interval_seconds)
+      : path_(std::move(path)),
+        interval_(interval_seconds),
+        thread_([this] { run(); }) {}
+
+  ~Heartbeat() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  void run() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stop_) {
+      const auto interval = std::chrono::duration<double>(interval_);
+      if (cv_.wait_for(lock, interval, [this] { return stop_; })) break;
+      // Touch mtime; utimensat(..., nullptr, 0) = "now" for both stamps.
+      ::utimensat(AT_FDCWD, path_.c_str(), nullptr, 0);
+    }
+  }
+
+  std::string path_;
+  double interval_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+/// One O_EXCL creation attempt; true = this process now holds the lease.
+bool try_acquire(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY | O_CLOEXEC,
+                        0644);
+  if (fd < 0) {
+    SM_ENSURE(errno == EEXIST,
+              "lease create failed: ", path, ": ", std::strerror(errno));
+    return false;
+  }
+  // Body is diagnostic only — liveness is judged by mtime, never by
+  // probing this pid (the holder may be on another host).
+  char host[256] = "?";
+  ::gethostname(host, sizeof(host) - 1);
+  std::ostringstream body;
+  body << "pid=" << ::getpid() << " host=" << host
+       << " acquired=" << now_realtime() << '\n';
+  const std::string text = body.str();
+  [[maybe_unused]] const ssize_t written =
+      ::write(fd, text.data(), text.size());
+  ::close(fd);
+  return true;
+}
+
+/// Claims a stale lease: renames it aside (atomic — exactly one of the
+/// racing claimants succeeds) and removes the grave. True = claimed.
+bool claim_stale(const std::string& path) {
+  static std::atomic<std::uint64_t> counter{0};
+  std::ostringstream grave;
+  grave << path << ".dead." << ::getpid() << '.'
+        << counter.fetch_add(1, std::memory_order_relaxed);
+  if (::rename(path.c_str(), grave.str().c_str()) != 0) return false;
+  ::unlink(grave.str().c_str());
+  return true;
+}
+
+}  // namespace
+
+FlightReport single_flight(const std::string& dir, const std::string& name,
+                           const LeaseOptions& options,
+                           const std::function<bool()>& ready,
+                           const std::function<void()>& execute) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::string path = dir + "/" + name + ".lease";
+
+  FlightReport report;
+  const double deadline = now_realtime() + options.wait_timeout_seconds;
+  for (;;) {
+    // The result may already exist (stored by a previous flight on any
+    // replica) — check before touching the lease at all.
+    if (ready()) {
+      report.role = FlightRole::kWaited;
+      return report;
+    }
+    if (try_acquire(path)) {
+      report.role = FlightRole::kExecuted;
+      try {
+        const Heartbeat beat(path, options.heartbeat_seconds);
+        execute();
+      } catch (...) {
+        // Release so a waiter can retry (and hit the same error loudly)
+        // instead of idling until the stale deadline.
+        ::unlink(path.c_str());
+        throw;
+      }
+      ::unlink(path.c_str());
+      return report;
+    }
+
+    // Someone else holds it. Judge liveness by lease mtime age alone.
+    double mtime = 0.0;
+    if (!lease_mtime(path, &mtime)) {
+      continue;  // holder finished (or crashed+claimed) between checks
+    }
+    if (now_realtime() - mtime > options.stale_after_seconds) {
+      if (claim_stale(path)) ++report.takeovers;
+      continue;  // re-race the create either way
+    }
+    SM_ENSURE(now_realtime() < deadline, "single-flight wait timed out after ",
+              options.wait_timeout_seconds, " s on ", path);
+    ++report.waits;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(options.poll_seconds));
+  }
+}
+
+}  // namespace fleet

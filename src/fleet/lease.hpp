@@ -1,0 +1,76 @@
+// Cross-process single-flight via lock/lease files.
+//
+// N serve replicas pointed at one shared `engine::ResultStore` must
+// execute each JobKey exactly once fleet-wide. In-process the service
+// already coalesces via its Flight map; across processes the only shared
+// medium is the store directory itself, so the coordination primitive is
+// a lease *file*:
+//
+//   - The would-be executor O_EXCL-creates `<dir>/<name>.lease`. Exactly
+//     one creator wins; the file body records pid/host/time for humans
+//     reading a stuck directory.
+//   - The holder heartbeats the lease (mtime refresh) while executing,
+//     then removes it after the result is stored. Readers judge holder
+//     liveness purely by mtime age — there is no pid probing, because
+//     replicas may sit on different hosts sharing a network filesystem.
+//   - Losers poll: first `ready()` (the store entry appeared — done,
+//     return kWaited), then lease mtime age. A lease older than
+//     `stale_after_seconds` means the holder died mid-execute; one
+//     waiter claims takeover by renaming the lease aside (rename is
+//     atomic, exactly one claimant wins) and re-races the O_EXCL create.
+//
+// Safety comes from the store, not the lease: entries are written via
+// atomic rename with checksums, so a reader never observes a torn
+// result. The lease only prevents *duplicate work*; even a total lease
+// failure (e.g. clock skew marking a live holder stale) degrades to an
+// extra redundant solve, never to a wrong answer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace fleet {
+
+struct LeaseOptions {
+  /// Waiter poll interval while someone else holds the lease.
+  double poll_seconds = 0.05;
+  /// A lease whose mtime is older than this is treated as abandoned and
+  /// taken over. Must comfortably exceed `heartbeat_seconds`.
+  double stale_after_seconds = 30.0;
+  /// The holder refreshes the lease mtime this often while executing.
+  double heartbeat_seconds = 5.0;
+  /// A waiter that has seen neither the result nor a lease transition
+  /// for this long gives up (throws support::Error) rather than hang a
+  /// serve worker forever.
+  double wait_timeout_seconds = 600.0;
+};
+
+enum class FlightRole : std::uint8_t {
+  kExecuted,  ///< this process held the lease and ran `execute`
+  kWaited,    ///< another flight produced the entry; `ready()` observed it
+};
+
+struct FlightReport {
+  FlightRole role = FlightRole::kExecuted;
+  /// Stale leases this flight renamed aside before winning or waiting.
+  std::uint64_t takeovers = 0;
+  /// Poll sleeps spent waiting on another holder.
+  std::uint64_t waits = 0;
+};
+
+/// Runs `execute` exactly once fleet-wide for the flight named `name`
+/// (callers pass the JobKey hex digest). `ready` must return true once
+/// the shared result is observable (typically a store load probe); it is
+/// consulted before every lease attempt, so a waiter whose holder
+/// completed returns without ever executing. `dir` is created on demand.
+///
+/// Throws whatever `execute` throws (the lease is released first so
+/// waiters can retry and surface the same error), and support::Error on
+/// wait timeout.
+FlightReport single_flight(const std::string& dir, const std::string& name,
+                           const LeaseOptions& options,
+                           const std::function<bool()>& ready,
+                           const std::function<void()>& execute);
+
+}  // namespace fleet

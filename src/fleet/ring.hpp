@@ -1,0 +1,40 @@
+// Rendezvous (highest-random-weight) hashing over a static replica list.
+//
+// Every client that knows the same member list routes a given job key to
+// the same replica — no coordination, no token ring state. Each
+// (member, key) pair is scored by mixing the member's endpoint hash with
+// the key hash through a 64-bit finalizer; the member with the highest
+// score owns the key, and the descending score order is the failover
+// order. Removing one member only reassigns that member's keys
+// (the defining property of HRW), so a downed replica's traffic spreads
+// without reshuffling everyone else's cache locality.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fleet {
+
+class Ring {
+ public:
+  /// `members` are opaque endpoint strings ("host:port"); order is
+  /// irrelevant to ownership but indices into it are what `ranked`
+  /// returns. Throws support::InvalidArgument when empty.
+  explicit Ring(std::vector<std::string> members);
+
+  const std::vector<std::string>& members() const { return members_; }
+
+  /// Member indices in descending score order for `key_hash`: first is
+  /// the owner, the rest the deterministic failover sequence.
+  std::vector<std::size_t> ranked(std::uint64_t key_hash) const;
+
+  /// The owner index — `ranked(key_hash).front()` without the vector.
+  std::size_t owner(std::uint64_t key_hash) const;
+
+ private:
+  std::vector<std::string> members_;
+  std::vector<std::uint64_t> member_hashes_;
+};
+
+}  // namespace fleet

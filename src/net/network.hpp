@@ -80,6 +80,15 @@ struct NetworkConfig {
   /// at scale. Off = the original resample-after-every-event behavior
   /// (kept for A/B validation; tests pin the statistical equivalence).
   bool lazy_clock_reschedule = true;
+  /// When > 0, a send dropped on a partition-cut edge is retried: the
+  /// sender re-announces the block to the same destination at
+  /// max(now + interval, heal time of the cutting windows). Each retry
+  /// that lands inside a *later* split window reschedules past that
+  /// window's end too, so announcements survive repeated overlapping
+  /// splits instead of relying on a post-heal block to trigger the
+  /// ancestor-fetch path. 0 (default) disables retries — existing runs
+  /// stay bit-identical.
+  double reannounce_interval = 0.0;
 };
 
 struct NetworkResult {
@@ -98,6 +107,9 @@ struct NetworkResult {
   std::uint64_t sync_arrivals = 0;     ///< kSync parent fetches delivered.
   std::uint64_t duplicate_arrivals = 0;///< Arrivals dropped as known.
   std::uint64_t cut_sends = 0;         ///< Sends dropped by partition cuts.
+  std::uint64_t reannounce_events = 0; ///< Timer re-announces fired for
+                                       ///< cut sends (reannounce_interval
+                                       ///< > 0 only).
   /// Largest event-queue size observed while the run drained — how deep
   /// the in-flight backlog got (bursts after a partition heal dominate).
   std::uint64_t queue_high_water = 0;

@@ -15,6 +15,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "fleet/auth.hpp"
 #include "serve/protocol.hpp"
 #include "serve/socket_io.hpp"
 #include "support/check.hpp"
@@ -41,6 +42,7 @@ Client::Client(const std::string& host, int port, ClientOptions options)
     : host_(host), port_(port), options_(std::move(options)) {
   SM_REQUIRE(port_ > 0 && port_ <= 65535, "port out of range: ", port_);
   connect_now();
+  handshake_now();
 }
 
 Client::~Client() {
@@ -71,6 +73,44 @@ void Client::connect_now() {
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
+void Client::handshake_now() {
+  if (options_.auth_secret.empty()) return;
+  const auto transport_lost = [this]() -> support::Error {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+    return support::Error("connection lost during auth handshake with " +
+                          host_ + ":" + std::to_string(port_));
+  };
+  // Leg 1: a bare capability ping fetches this connection's challenge.
+  // Handshake pings carry no id — the connection is fresh (empty buffer_,
+  // nothing pipelined), so replies arrive strictly in order.
+  std::string line;
+  if (!send_all(fd_, "{\"kind\":\"ping\"}\n") || !read_line(line)) {
+    throw transport_lost();
+  }
+  const Reply hello = decode_reply(line);
+  SM_REQUIRE(hello.ok, "auth handshake ping failed: ", hello.error);
+  const Json* challenge = hello.raw.find("challenge");
+  if (challenge == nullptr) return;  // open server — nothing to answer
+  // Leg 2: answer with HMAC-SHA256(secret, challenge); the server must
+  // report the session authenticated or the secrets do not match.
+  const std::string answer =
+      fleet::hmac_sha256_hex(options_.auth_secret, challenge->as_string());
+  if (!send_all(fd_, "{\"kind\":\"ping\",\"auth\":\"" + answer + "\"}\n") ||
+      !read_line(line)) {
+    throw transport_lost();
+  }
+  const Reply verdict = decode_reply(line);
+  const Json* status = verdict.ok ? verdict.raw.find("auth") : nullptr;
+  if (status == nullptr || status->as_string() != "ok") {
+    throw support::Error(
+        "auth handshake rejected by " + host_ + ":" + std::to_string(port_) +
+        (verdict.ok ? " (secret mismatch?)" : ": " + verdict.error));
+  }
+}
+
 void Client::reconnect_session() {
   if (fd_ >= 0) {
     ::close(fd_);
@@ -91,7 +131,12 @@ void Client::reconnect_session() {
     }
     try {
       connect_now();
+      handshake_now();  // secured sessions re-authenticate before replay
     } catch (const support::Error& error) {
+      if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+      }
       last_error = error.what();
       continue;
     }

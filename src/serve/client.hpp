@@ -44,6 +44,10 @@ struct ClientOptions {
   /// the analysis kinds (pure queries); disable when replaying a request
   /// must not happen twice.
   bool resend_on_reconnect = true;
+  /// Deployment shared secret for secured servers (see fleet/auth).
+  /// Nonempty = the session runs the ping HMAC challenge/response right
+  /// after every (re)connect, before anything else is sent.
+  std::string auth_secret;
 };
 
 class Client {
@@ -89,6 +93,10 @@ class Client {
 
  private:
   void connect_now();  ///< One attempt; throws support::Error.
+  /// Runs the ping auth challenge/response on a fresh connection (no-op
+  /// without a secret). Must precede any pipelined traffic: replies are
+  /// read positionally, which only a quiet connection guarantees.
+  void handshake_now();
   /// Capped, jitter-backoff reconnect loop; re-sends outstanding
   /// requests when options allow (throws if they don't and any exist).
   void reconnect_session();

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "engine/kinds.hpp"
+#include "fleet/auth.hpp"
 #include "mdp/solve.hpp"
 #include "net/network.hpp"
 #include "obs/flight.hpp"
@@ -308,6 +309,16 @@ std::string render_ping(const Json& id, const Service& service,
                       Json(wire.limits.idle_timeout_seconds));
   members.emplace_back("limits", Json::object(std::move(limits)));
   members.emplace_back("obs", Json(obs_mode()));
+  // Secured servers advertise the auth state and this connection's
+  // challenge — the client hashes the secret over `challenge` and pings
+  // again with the result in `auth`. Open servers omit both members, so
+  // existing clients and pinned ping-shape tests see unchanged replies.
+  if (!wire.auth_secret.empty() && wire.auth != nullptr) {
+    const bool authed =
+        wire.auth->authenticated.load(std::memory_order_acquire);
+    members.emplace_back("auth", Json(authed ? "ok" : "required"));
+    members.emplace_back("challenge", Json(wire.auth->challenge));
+  }
   return finish_reply(std::move(members));
 }
 
@@ -333,6 +344,16 @@ std::string render_stats(const Json& id, const ServiceStats& stats,
                        Json(static_cast<double>(stats.lru_bytes)));
   members.emplace_back("lru_entries",
                        Json(static_cast<double>(stats.lru_entries)));
+  // Cross-process single-flight counters: summing `executions` across all
+  // replicas sharing one cache dir must equal the number of distinct cold
+  // keys — the fleet-smoke CI job asserts exactly that.
+  JsonMembers fleet;
+  fleet.emplace_back("executions",
+                     Json(static_cast<double>(stats.fleet_executions)));
+  fleet.emplace_back("waits", Json(static_cast<double>(stats.fleet_waits)));
+  fleet.emplace_back("takeovers",
+                     Json(static_cast<double>(stats.fleet_takeovers)));
+  members.emplace_back("fleet", Json::object(std::move(fleet)));
   // Millisecond resolution keeps the canonical-double rendering short.
   members.emplace_back(
       "uptime_seconds",
@@ -459,7 +480,13 @@ Request parse_request_object(const Json& object) {
       request.kind == "shutdown") {
     request.admin = true;
     FieldReader fields(object);
-    fields.finish();  // admin requests take no options
+    if (request.kind == "ping") {
+      // The challenge answer rides on ping (and only ping): the
+      // handshake must work before authentication, and ping is the one
+      // kind an unauthenticated client may send.
+      request.auth = fields.string("auth", "");
+    }
+    fields.finish();  // admin requests take no other options
     return request;
   }
   request.job = build_job(request.kind, object);
@@ -582,6 +609,36 @@ HandledLine handle_request(Service& service, const std::string& line,
   // discoverable through `trace-dump` and the stats exemplars).
   const std::string trace_echo =
       request.trace_id != 0 ? obs::format_trace_id(request.trace_id) : "";
+
+  // Authentication gate (secured servers only). A ping carrying an
+  // `auth` answer is the handshake's second leg: verify it against this
+  // connection's challenge in constant time. Every other kind requires
+  // the connection to have authenticated already; ping without `auth`
+  // stays open so clients can fetch the challenge and capabilities.
+  const bool secured = !wire.auth_secret.empty() && wire.auth != nullptr;
+  if (secured && request.kind == "ping" && !request.auth.empty()) {
+    const std::string expected =
+        fleet::hmac_sha256_hex(wire.auth_secret, wire.auth->challenge);
+    if (fleet::equals_constant_time(request.auth, expected)) {
+      wire.auth->authenticated.store(true, std::memory_order_release);
+    } else {
+      service.note_rejected();
+      handled.reply = render_error(
+          id, "auth failed: challenge response does not verify",
+          trace_echo, "auth_failed");
+      return handled;
+    }
+  }
+  if (secured && request.kind != "ping" &&
+      !wire.auth->authenticated.load(std::memory_order_acquire)) {
+    service.note_rejected();
+    handled.reply = render_error(
+        id,
+        "authentication required: answer the ping challenge with "
+        "auth=HMAC-SHA256(secret, challenge) first",
+        trace_echo, "auth_required");
+    return handled;
+  }
 
   try {
     if (request.admin) {

@@ -35,9 +35,15 @@
 // every reply echoes it back. Any failure (malformed JSON, unknown kind
 // or field, out-of-range parameters, executor error) produces
 // {"ok":false,"error":...} on the same line slot — machine-readable
-// failures additionally carry a `code` ("unsupported_version", and the
-// transport's overload replies use "busy") — and the connection stays
-// usable.
+// failures additionally carry a `code` ("unsupported_version",
+// "auth_required"/"auth_failed" on secured servers, and the transport's
+// overload replies use "busy") — and the connection stays usable.
+//
+// Secured servers (serve --auth-secret-file) extend the `ping` handshake
+// into a challenge/response: the ping reply carries a per-connection
+// `challenge`, the client answers with another ping whose `auth` field is
+// HMAC-SHA256(secret, challenge) in hex, and until that verifies every
+// non-ping request is refused with code "auth_required". See fleet/auth.
 //
 // This module is transport-free: handle_request maps a request line to a
 // response line given a Service, so tests exercise the full protocol
@@ -100,6 +106,10 @@ struct Request {
   /// it. NEVER part of the job identity — two requests with different
   /// trace ids for the same query coalesce and cache identically.
   std::uint64_t trace_id = 0;
+  /// `ping`-only: the HMAC-SHA256 answer to the connection's auth
+  /// challenge (empty = plain capability ping). Like trace_id, never part
+  /// of any job identity.
+  std::string auth;
 };
 
 /// Parses and validates one request line. Throws ProtocolError (or
@@ -130,12 +140,33 @@ struct TransportStats {
   std::atomic<std::int64_t> inflight{0};      ///< Dispatched, not replied.
 };
 
+/// Per-connection authentication state on a secured server. The
+/// transport mints one fresh `challenge` per connection at accept time;
+/// the protocol flips `authenticated` once a `ping` carries the matching
+/// HMAC-SHA256 answer. Atomic because pipelined lines from one
+/// connection are handled on different pool workers.
+struct AuthSession {
+  std::string challenge;
+  std::atomic<bool> authenticated{false};
+};
+
 /// What the transport tells the protocol about itself: the limits `ping`
 /// advertises and the counters `stats` reports. Default-constructed for
 /// transport-free embedders (tests): unlimited, no transport section.
+///
+/// A server is *secured* when `auth_secret` is nonempty AND an
+/// AuthSession is attached: secured connections must answer the ping
+/// challenge before any non-ping request is served (failures get the
+/// machine-readable `auth_required` / `auth_failed` codes). The
+/// transport-free default (no session) stays open.
 struct Wire {
   TransportLimits limits;
   const TransportStats* stats = nullptr;
+  /// Deployment shared secret; empty = open server (the default).
+  std::string auth_secret;
+  /// This connection's challenge/verdict state; null = no connection
+  /// identity (transport-free path), never gated.
+  AuthSession* auth = nullptr;
 };
 
 /// Response renderers; every returned string is one line ending in '\n'.

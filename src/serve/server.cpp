@@ -15,6 +15,7 @@
 #include <unistd.h>
 
 #include "engine/kinds.hpp"
+#include "fleet/auth.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "serve/protocol.hpp"
@@ -52,8 +53,11 @@ TransportMetrics& transport_metrics() {
     transport_metrics();
 
 /// Builds the one-shot HTTP response for a GET request line on the NDJSON
-/// port ("GET /path HTTP/1.x" — the path is the second token).
-std::string http_response_for(const std::string& request_line) {
+/// port ("GET /path HTTP/1.x" — the path is the second token). On a
+/// secured server /metrics is refused (HTTP has no leg in the HMAC
+/// handshake, and the exposition names internal workloads); /healthz
+/// stays open so secretless load balancers can probe liveness.
+std::string http_response_for(const std::string& request_line, bool secured) {
   const std::size_t path_begin = request_line.find(' ');
   std::size_t path_end = request_line.find(' ', path_begin + 1);
   if (path_end == std::string::npos) path_end = request_line.size();
@@ -63,7 +67,10 @@ std::string http_response_for(const std::string& request_line) {
   std::string status = "200 OK";
   std::string content_type = "text/plain; charset=utf-8";
   std::string body;
-  if (path == "/metrics") {
+  if (path == "/metrics" && secured) {
+    status = "403 Forbidden";
+    body = "metrics require the authenticated NDJSON protocol\n";
+  } else if (path == "/metrics") {
     // The content type Prometheus' text parser expects.
     content_type = "text/plain; version=0.0.4; charset=utf-8";
     body = obs::prometheus_text();
@@ -93,7 +100,11 @@ Server::Server(ServerOptions options,
       workers_(support::resolve_thread_count(options_.workers)) {
   SM_REQUIRE(options_.port >= 0 && options_.port <= 65535,
              "port out of range: ", options_.port);
+  if (!options_.auth_secret_file.empty()) {
+    options_.auth_secret = fleet::load_secret_file(options_.auth_secret_file);
+  }
   service_ = std::make_unique<Service>(options_.service, registry);
+  wire_.auth_secret = options_.auth_secret;
   wire_.limits.max_line_bytes = options_.max_line_bytes;
   wire_.limits.max_inflight = options_.max_inflight;
   wire_.limits.max_inflight_per_connection =
@@ -259,6 +270,9 @@ void Server::accept_ready() {
 
     auto connection = std::make_shared<Connection>();
     connection->fd = fd;
+    if (!options_.auth_secret.empty()) {
+      connection->auth.challenge = fleet::random_challenge();
+    }
     connection->last_activity = std::chrono::steady_clock::now();
     connection->events = EPOLLIN;
     epoll_event ev{};
@@ -403,7 +417,8 @@ void Server::handle_http_line(Connection* connection) {
   // pending could RST the response away before the scraper reads it.
   connection->mode = Connection::Mode::kDrain;
   connection->drain_after_flush = true;
-  enqueue_output(connection, http_response_for(line));
+  enqueue_output(connection,
+                 http_response_for(line, !options_.auth_secret.empty()));
 }
 
 void Server::dispatch_line(const ConnectionPtr& connection, std::string line) {
@@ -429,7 +444,11 @@ void Server::dispatch_line(const ConnectionPtr& connection, std::string line) {
   tstats_.inflight.fetch_add(1, std::memory_order_relaxed);
   transport_metrics().inflight.add(1);
   workers_.submit([this, connection, line = std::move(line)] {
-    HandledLine handled = handle_request(*service_, line, wire_);
+    // Per-call Wire: the shared limits/stats plus *this* connection's
+    // auth session (the held ConnectionPtr keeps it alive).
+    Wire wire = wire_;
+    wire.auth = &connection->auth;
+    HandledLine handled = handle_request(*service_, line, wire);
     {
       const std::lock_guard<std::mutex> lock(completions_mutex_);
       completions_.push_back(

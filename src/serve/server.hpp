@@ -34,10 +34,13 @@
 // (serve/protocol.hpp's sniff_first_line): under a nonblocking transport
 // a lone 'G' is not yet an HTTP request.
 //
-// The server binds loopback by default: the protocol is unauthenticated,
-// so exposure beyond the host must be an explicit operator choice
-// (--host=0.0.0.0) behind whatever transport security the deployment
-// provides.
+// The server binds loopback by default. To leave loopback, give it a
+// shared secret (--auth-secret-file): connections must then answer the
+// `ping` HMAC challenge before any non-ping request is served (protocol
+// code "auth_required" until they do), and `GET /metrics` answers 403 —
+// only /healthz stays open, so load balancers can probe liveness without
+// holding the secret. An open server (no secret) behaves exactly as
+// before and should stay on loopback.
 #pragma once
 
 #include <atomic>
@@ -81,6 +84,13 @@ struct ServerOptions {
   /// Connections idle longer than this (no bytes, nothing in flight) are
   /// closed and counted. 0 = never.
   double idle_timeout_seconds = 0.0;
+  /// Path to the deployment's shared-secret file (see fleet/auth).
+  /// Nonempty = secured server: loaded at construction (throws when
+  /// missing or empty) into `auth_secret`.
+  std::string auth_secret_file;
+  /// The shared secret itself; set directly by tests, or loaded from
+  /// `auth_secret_file`. Empty = open server (the default).
+  std::string auth_secret;
   ServiceOptions service;
 };
 
@@ -148,6 +158,10 @@ class Server {
     bool closing = false;     ///< Scheduled for close this reactor batch.
     std::atomic<bool> closed{false};  ///< Published to completion tasks.
     std::chrono::steady_clock::time_point last_activity;
+    /// Challenge + verdict for secured servers (challenge minted at
+    /// accept); workers reference it through their per-call Wire, and the
+    /// ConnectionPtr they hold keeps it alive past any close.
+    AuthSession auth;
   };
   using ConnectionPtr = std::shared_ptr<Connection>;
 

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "engine/kinds.hpp"
+#include "fleet/lease.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -43,6 +44,15 @@ struct ServeMetrics {
       "selfish_serve_lru_entries", "Artifacts resident in the LRU");
   obs::Gauge& inflight = obs::gauge(
       "selfish_serve_inflight", "Queries currently inside execute()");
+  obs::Counter& fleet_executions = obs::counter(
+      "selfish_serve_fleet_executions_total",
+      "Cold jobs this replica executed under a fleet lease");
+  obs::Counter& fleet_waits = obs::counter(
+      "selfish_serve_fleet_waits_total",
+      "Cold jobs resolved by another replica's flight while this one waited");
+  obs::Counter& fleet_takeovers = obs::counter(
+      "selfish_serve_fleet_takeovers_total",
+      "Stale (crashed-holder) leases this replica claimed");
 };
 
 ServeMetrics& serve_metrics() {
@@ -130,6 +140,54 @@ void Service::lru_insert(const std::string& key, const PayloadPtr& payload,
   serve_metrics().lru_entries.set(static_cast<std::int64_t>(lru_.size()));
 }
 
+engine::GenericOutcome Service::run_shared(const engine::JobKey& key,
+                                           const engine::GenericJob& job) {
+  // Memory-only services have nothing to coordinate through; the
+  // in-process Flight map is the whole single-flight story.
+  if (!store_.enabled()) {
+    return engine::run_generic(registry_, store_, context_, job);
+  }
+  // Fast path: the entry exists (a warm restart, a sweep that ran before
+  // us, or another replica that finished long ago) — no lease traffic.
+  if (std::optional<engine::GenericResult> hit = store_.load_generic(key)) {
+    engine::GenericOutcome outcome;
+    outcome.result = std::move(*hit);
+    outcome.cached = true;
+    return outcome;
+  }
+  // Cold: race the fleet for the lease. The winner executes (run_generic
+  // re-probes the store internally, so losing a photo-finish to a replica
+  // that stored between our probe and our lease win still reads back
+  // cached); losers poll until the entry appears, then read it.
+  engine::GenericOutcome executed;
+  std::optional<engine::GenericResult> waited;
+  const fleet::FlightReport report = fleet::single_flight(
+      store_.dir() + "/leases", key.hex(), options_.lease,
+      [&] {
+        waited = store_.load_generic(key);
+        return waited.has_value();
+      },
+      [&] { executed = engine::run_generic(registry_, store_, context_, job); });
+  if (report.takeovers > 0) {
+    fleet_takeovers_.fetch_add(report.takeovers, std::memory_order_relaxed);
+    serve_metrics().fleet_takeovers.add(
+        static_cast<std::int64_t>(report.takeovers));
+  }
+  if (report.role == fleet::FlightRole::kWaited) {
+    fleet_waits_.fetch_add(1, std::memory_order_relaxed);
+    serve_metrics().fleet_waits.add(1);
+    engine::GenericOutcome outcome;
+    outcome.result = std::move(*waited);
+    outcome.cached = true;
+    return outcome;
+  }
+  if (!executed.cached) {
+    fleet_executions_.fetch_add(1, std::memory_order_relaxed);
+    serve_metrics().fleet_executions.add(1);
+  }
+  return executed;
+}
+
 QueryOutcome Service::execute(const engine::GenericJob& job) {
   const InflightGuard inflight;
   // The service-layer span of the request tree. It is current while the
@@ -195,8 +253,7 @@ QueryOutcome Service::execute(const engine::GenericJob& job) {
       bool failed = false;
       std::string error;
       try {
-        engine::GenericOutcome outcome =
-            engine::run_generic(registry_, store_, context_, job);
+        engine::GenericOutcome outcome = run_shared(key, job);
         payload = std::make_shared<const std::string>(
             std::move(outcome.result.payload));
         seconds = outcome.result.seconds;
@@ -268,6 +325,9 @@ ServiceStats Service::stats() const {
   out.errors = errors_.load(std::memory_order_relaxed);
   out.rejected = rejected_.load(std::memory_order_relaxed);
   out.lru_evictions = lru_evictions_.load(std::memory_order_relaxed);
+  out.fleet_executions = fleet_executions_.load(std::memory_order_relaxed);
+  out.fleet_waits = fleet_waits_.load(std::memory_order_relaxed);
+  out.fleet_takeovers = fleet_takeovers_.load(std::memory_order_relaxed);
   out.lru_bytes = lru_bytes_now_.load(std::memory_order_relaxed);
   out.lru_entries = lru_entries_now_.load(std::memory_order_relaxed);
   out.uptime_seconds = uptime_.seconds();

@@ -34,6 +34,7 @@
 
 #include "engine/generic.hpp"
 #include "engine/store.hpp"
+#include "fleet/lease.hpp"
 #include "support/parallel.hpp"
 #include "support/timer.hpp"
 
@@ -53,6 +54,11 @@ struct ServiceOptions {
   int job_threads = 1;
   /// LRU capacity in payload bytes; 0 disables the in-memory layer.
   std::size_t lru_bytes = 64ull << 20;
+  /// Cross-process single-flight tuning (lease files under
+  /// <cache_dir>/leases; see fleet/lease.hpp). Only consulted when a
+  /// cache_dir is set — N replicas sharing it then execute each JobKey
+  /// exactly once fleet-wide.
+  fleet::LeaseOptions lease;
 };
 
 /// Where a response came from (reported to clients and to the bench).
@@ -87,6 +93,14 @@ struct ServiceStats {
   std::uint64_t errors = 0;    ///< Executor/dispatch failures.
   std::uint64_t rejected = 0;  ///< Protocol-level rejections (note_rejected).
   std::uint64_t lru_evictions = 0;
+  /// Fleet single-flight view (cache_dir set): leases this replica won
+  /// and executed under, store entries it observed another flight
+  /// complete (its own solve skipped), and stale leases it took over.
+  /// Summed across replicas, fleet_executions equals the number of
+  /// distinct cold JobKeys — the "exactly one solve fleet-wide" check.
+  std::uint64_t fleet_executions = 0;
+  std::uint64_t fleet_waits = 0;
+  std::uint64_t fleet_takeovers = 0;
   std::size_t lru_bytes = 0;    ///< Current LRU payload residency.
   std::size_t lru_entries = 0;
   double uptime_seconds = 0.0;  ///< Since Service construction.
@@ -163,6 +177,12 @@ class Service {
   /// count table is frozen at construction).
   void note_kind(const std::string& kind);
 
+  /// run_generic wrapped in the fleet lease (store-backed services):
+  /// exactly one process executes a cold key no matter how many replicas
+  /// share the cache directory; everyone else reads the completed entry.
+  engine::GenericOutcome run_shared(const engine::JobKey& key,
+                                    const engine::GenericJob& job);
+
   ServiceOptions options_;
   const engine::ExecutorRegistry& registry_;
   engine::ResultStore store_;
@@ -187,6 +207,9 @@ class Service {
   std::atomic<std::uint64_t> errors_{0};
   std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> lru_evictions_{0};
+  std::atomic<std::uint64_t> fleet_executions_{0};
+  std::atomic<std::uint64_t> fleet_waits_{0};
+  std::atomic<std::uint64_t> fleet_takeovers_{0};
   std::atomic<std::size_t> lru_bytes_now_{0};
   std::atomic<std::size_t> lru_entries_now_{0};
   /// Per-kind request counts. The key set is frozen at construction

@@ -21,6 +21,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <vector>
 
 #include "analysis/algorithm1.hpp"
@@ -34,6 +35,8 @@
 #include "baselines/honest.hpp"
 #include "baselines/single_tree.hpp"
 #include "engine/engine.hpp"
+#include "fleet/auth.hpp"
+#include "fleet/router.hpp"
 #include "mdp/export.hpp"
 #include "net/batch.hpp"
 #include "net/scenario.hpp"
@@ -547,8 +550,8 @@ int cmd_serve(int argc, const char* const* argv) {
   support::Options options;
   options.declare("help", "false", "show this command's options");
   options.declare("host", "127.0.0.1",
-                  "bind address (loopback by default; the protocol is "
-                  "unauthenticated)");
+                  "bind address (loopback by default; pair a non-loopback "
+                  "bind with --auth-secret-file)");
   options.declare("port", "7077", "TCP port (0 = ephemeral)");
   options.declare("threads", "0",
                   "concurrent jobs (0 = all cores); bounds simultaneous "
@@ -575,6 +578,10 @@ int cmd_serve(int argc, const char* const* argv) {
   options.declare("idle-timeout", "0",
                   "seconds after which a connection with no traffic and "
                   "nothing in flight is closed (0 = never)");
+  options.declare("auth-secret-file", "",
+                  "shared-secret file; when set, every non-ping request "
+                  "must first pass the HMAC-SHA256 ping challenge and "
+                  "HTTP /metrics is refused (/healthz stays open)");
   declare_trace_option(options);
   if (!parse_or_help(options, argc, argv)) return 0;
 
@@ -592,6 +599,7 @@ int cmd_serve(int argc, const char* const* argv) {
   server_options.max_inflight_per_connection =
       options.get_int("max-inflight-per-conn");
   server_options.idle_timeout_seconds = idle_timeout;
+  server_options.auth_secret_file = options.get_string("auth-secret-file");
   server_options.service.cache_dir = options.get_string("cache-dir");
   server_options.service.threads = options.get_int("threads");
   server_options.service.job_threads = options.get_int("job-threads");
@@ -678,6 +686,15 @@ int cmd_query(int argc, const char* const* argv) {
   options.declare("help", "false", "show this command's options");
   options.declare("host", "127.0.0.1", "server address");
   options.declare("port", "7077", "server TCP port");
+  options.declare("fleet", "",
+                  "comma-separated host:port replica list; the request is "
+                  "routed to the replica owning its job key (rendezvous "
+                  "hashing) with failover past unreachable replicas — "
+                  "overrides --host/--port");
+  options.declare("auth-secret-file", "",
+                  "shared-secret file matching the server's "
+                  "--auth-secret-file; the client answers the ping "
+                  "challenge before sending the request");
   options.declare("kind", "point",
                   "query kind: point | sweep | threshold | upper-bound | "
                   "net-batch | ping | stats | metrics | trace-dump | "
@@ -771,12 +788,35 @@ int cmd_query(int argc, const char* const* argv) {
     request = serve::Json::object(std::move(members)).dump();
   }
 
-  serve::Client client(options.get_string("host"), options.get_int("port"));
+  serve::ClientOptions client_options;
+  if (options.was_set("auth-secret-file")) {
+    client_options.auth_secret =
+        fleet::load_secret_file(options.get_string("auth-secret-file"));
+  }
+
+  // --fleet routes through the rendezvous-hashing router; otherwise one
+  // direct session. Both paths produce byte-identical bodies.
+  std::unique_ptr<fleet::Router> router;
+  std::unique_ptr<serve::Client> client;
+  if (options.was_set("fleet")) {
+    fleet::RouterOptions router_options;
+    router_options.client = client_options;
+    router = std::make_unique<fleet::Router>(
+        fleet::parse_endpoints(options.get_string("fleet")), router_options);
+  } else {
+    client = std::make_unique<serve::Client>(options.get_string("host"),
+                                             options.get_int("port"),
+                                             client_options);
+  }
+
   if (options.get_bool("raw")) {
-    std::printf("%s\n", client.request_raw(request).c_str());
+    const std::string raw = router != nullptr ? router->request_raw(request)
+                                              : client->request_raw(request);
+    std::printf("%s\n", raw.c_str());
     return 0;
   }
-  const serve::Reply reply = client.request(request);
+  const serve::Reply reply = router != nullptr ? router->request(request)
+                                               : client->request(request);
   if (!reply.ok) {
     std::fprintf(stderr, "query error: %s\n", reply.error.c_str());
     return 1;
@@ -816,7 +856,9 @@ void print_usage() {
       "             over the content-addressed store)\n"
       "  query      send one request to a running server; the body printed "
       "on stdout is\n"
-      "             byte-identical to the equivalent direct subcommand\n\n"
+      "             byte-identical to the equivalent direct subcommand "
+      "(--fleet routes\n"
+      "             across replicas, --auth-secret-file authenticates)\n\n"
       "run a command with --help for its options.\n");
 }
 
